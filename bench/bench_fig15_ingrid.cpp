@@ -1,0 +1,22 @@
+// Fig 15: F1 vs the proportion of in-grid blurred check-ins, 10-50 %.
+//
+// Paper: in-grid blurring (replacing a check-in's POI with another POI in
+// the same grid) is the gentlest countermeasure — spatial-temporal cell
+// counts barely move, so learning-based attacks retain most accuracy while
+// knowledge-based ones (which depend on exact POI identity) fall hard.
+#include "bench_common.h"
+
+#include "data/obfuscation.h"
+#include "geo/quadtree.h"
+
+int main() {
+  fs::bench::banner("bench_fig15_ingrid",
+                    "Fig 15 — F1 vs proportion of in-grid blurred check-ins");
+  fs::bench::run_obfuscation_bench(
+      "fig15_ingrid", "Fig 15 — in-grid blurring countermeasure",
+      [](const fs::data::Dataset& ds, double ratio, fs::util::Rng& rng) {
+        const fs::geo::QuadtreeDivision division(ds.poi_coordinates(), 120);
+        return fs::data::blur_in_grid(ds, ratio, division, rng);
+      });
+  return 0;
+}

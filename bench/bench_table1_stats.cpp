@@ -1,0 +1,51 @@
+// Table I: statistics of the two MSN trace datasets.
+//
+// Paper values (after filtering users with < 2 check-ins):
+//   Brightkite: 157,279 POIs | 14,897 users | 1,360,524 check-ins | 93,754 links
+//   Gowalla:    104,568 POIs | 12,439 users |   656,642 check-ins | 51,270 links
+// The synthetic worlds are laptop-scale; the property preserved is the
+// RELATIVE shape: Brightkite denser in check-ins per user and links per
+// user than Gowalla.
+#include "bench_common.h"
+
+#include "data/stats.h"
+
+int main() {
+  using namespace fs;
+  bench::banner("bench_table1_stats", "Table I — dataset statistics");
+
+  util::Table table({"dataset", "pois", "users", "checkins",
+                     "checkins/user", "links", "links/user"});
+  for (const auto& world_cfg : bench::paper_worlds()) {
+    const data::SyntheticWorld world = data::generate_world(world_cfg);
+    const data::DatasetStats s = data::dataset_stats(world.dataset);
+    table.new_row()
+        .add(world_cfg.name)
+        .add(s.pois)
+        .add(s.users)
+        .add(s.checkins)
+        .add(s.mean_checkins_per_user, 1)
+        .add(s.links)
+        .add(static_cast<double>(s.links) / static_cast<double>(s.users), 2);
+  }
+  // Paper reference rows for shape comparison.
+  table.new_row()
+      .add("gowalla (paper)")
+      .add(std::size_t{104568})
+      .add(std::size_t{12439})
+      .add(std::size_t{656642})
+      .add(52.8, 1)
+      .add(std::size_t{51270})
+      .add(4.12, 2);
+  table.new_row()
+      .add("brightkite (paper)")
+      .add(std::size_t{157279})
+      .add(std::size_t{14897})
+      .add(std::size_t{1360524})
+      .add(91.3, 1)
+      .add(std::size_t{93754})
+      .add(6.29, 2);
+
+  bench::finish(table, "table1_stats", "Table I — dataset statistics");
+  return 0;
+}

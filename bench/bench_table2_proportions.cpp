@@ -1,0 +1,75 @@
+// Table II: the joint distribution of co-locations (C-L) and co-friends
+// (C-F) among friend and non-friend pairs.
+//
+// Paper (Gowalla):    friends: 52.49 / 13.01 / 27.71 / 6.79 %
+//                     non-friends: 1.67 / 13.05 / 3.93 / 81.35 %
+// Paper (Brightkite): friends: 79.05 / 4.24 / 9.09 / 29.17 % (sic)
+// Shape to hold: friends concentrate in cells with evidence (co-location
+// and/or co-friend); non-friends concentrate in the neither cell.
+#include "bench_common.h"
+
+#include "data/stats.h"
+#include "eval/pairs.h"
+
+int main() {
+  using namespace fs;
+  bench::banner("bench_table2_proportions",
+                "Table II — co-friend x co-location proportions");
+
+  util::Table table({"dataset", "population", "CL&CF %", "CL only %",
+                     "CF only %", "neither %"});
+  for (const auto& world_cfg : bench::paper_worlds()) {
+    const data::SyntheticWorld world = data::generate_world(world_cfg);
+    const eval::LabeledPairs pairs =
+        eval::sample_candidate_pairs(world.dataset);
+    std::vector<data::UserPair> friends, non_friends;
+    for (std::size_t i = 0; i < pairs.pairs.size(); ++i)
+      (pairs.labels[i] ? friends : non_friends).push_back(pairs.pairs[i]);
+    const data::CoPresenceCensus census =
+        data::co_presence_census(world.dataset, friends, non_friends);
+
+    auto emit = [&](const char* population, const double cells[2][2]) {
+      table.new_row()
+          .add(world_cfg.name)
+          .add(population)
+          .add(cells[1][1] * 100, 2)
+          .add(cells[1][0] * 100, 2)
+          .add(cells[0][1] * 100, 2)
+          .add(cells[0][0] * 100, 2);
+    };
+    emit("friends", census.friends);
+    emit("non-friends", census.non_friends);
+  }
+  table.new_row()
+      .add("gowalla (paper)")
+      .add("friends")
+      .add(52.49, 2)
+      .add(27.71, 2)
+      .add(13.01, 2)
+      .add(6.79, 2);
+  table.new_row()
+      .add("gowalla (paper)")
+      .add("non-friends")
+      .add(1.67, 2)
+      .add(3.93, 2)
+      .add(13.05, 2)
+      .add(81.35, 2);
+  table.new_row()
+      .add("brightkite (paper)")
+      .add("friends")
+      .add(79.05, 2)
+      .add(9.09, 2)
+      .add(4.24, 2)
+      .add(29.17, 2);
+  table.new_row()
+      .add("brightkite (paper)")
+      .add("non-friends")
+      .add(1.08, 2)
+      .add(3.93, 2)
+      .add(10.83, 2)
+      .add(55.76, 2);
+
+  bench::finish(table, "table2_proportions",
+                "Table II — co-presence census");
+  return 0;
+}

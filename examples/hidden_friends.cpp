@@ -1,0 +1,80 @@
+// Hidden-friends demo: the scenario from the paper's introduction. Cyber
+// friends are geographically distant strangers — no co-locations, no
+// mobility overlap — yet FriendSeeker reveals them through the social
+// structure reconstructed in phase 2.
+//
+//   ./build/examples/hidden_friends
+#include <cstdio>
+
+#include "baselines/colocation.h"
+#include "baselines/walk2friends.h"
+#include "eval/harness.h"
+#include "util/logging.h"
+
+int main() {
+  fs::util::set_log_level(fs::util::LogLevel::kWarn);
+
+  fs::data::SyntheticWorldConfig world_cfg = fs::data::gowalla_like();
+  const fs::data::SyntheticWorld world = fs::data::generate_world(world_cfg);
+  fs::eval::Experiment experiment = fs::eval::make_experiment(
+      world.dataset, world_cfg.name, fs::eval::PairSamplingConfig{});
+
+  // Run FriendSeeker and two baselines, then stratify recall over the
+  // ground-truth edge types only the generator knows.
+  fs::eval::FriendSeekerAttack seeker(fs::eval::default_seeker_config());
+  fs::baselines::CoLocationAttack colocation;
+  fs::baselines::Walk2FriendsAttack walk2friends;
+
+  struct Row {
+    const char* label;
+    std::vector<int> predictions;
+  };
+  std::vector<Row> rows;
+  for (auto* attack : std::initializer_list<fs::baselines::FriendshipAttack*>{
+           &seeker, &colocation, &walk2friends}) {
+    rows.push_back({attack->name().c_str(),
+                    attack->infer(experiment.dataset,
+                                  experiment.split.train_pairs,
+                                  experiment.split.train_labels,
+                                  experiment.split.test_pairs)});
+  }
+
+  std::printf("\nrecall by ground-truth friendship type (test split)\n");
+  std::printf("%-22s %14s %14s %20s\n", "attack", "real-world",
+              "cyber (hidden)", "no-common-location");
+  for (const Row& row : rows) {
+    std::size_t real_total = 0, real_found = 0;
+    std::size_t cyber_total = 0, cyber_found = 0;
+    std::size_t nocoloc_total = 0, nocoloc_found = 0;
+    for (std::size_t i = 0; i < experiment.split.test_pairs.size(); ++i) {
+      if (!experiment.split.test_labels[i]) continue;
+      const auto [a, b] = experiment.split.test_pairs[i];
+      const bool found = row.predictions[i] != 0;
+      if (world.is_cyber_edge(a, b)) {
+        ++cyber_total;
+        cyber_found += found;
+      } else {
+        ++real_total;
+        real_found += found;
+      }
+      if (experiment.dataset.common_poi_count(a, b) == 0) {
+        ++nocoloc_total;
+        nocoloc_found += found;
+      }
+    }
+    auto pct = [](std::size_t found, std::size_t total) {
+      return total ? 100.0 * static_cast<double>(found) /
+                         static_cast<double>(total)
+                   : 0.0;
+    };
+    std::printf("%-22s %13.1f%% %13.1f%% %19.1f%%\n", row.label,
+                pct(real_found, real_total), pct(cyber_found, cyber_total),
+                pct(nocoloc_found, nocoloc_total));
+  }
+
+  std::printf(
+      "\nthe knowledge-based attack cannot touch hidden friends (0%% by\n"
+      "construction); mobility embeddings see little; FriendSeeker's\n"
+      "k-hop social features recover a large share of them.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Pipeline inspector: runs FriendSeeker step by step on a synthetic world
+// and prints the internal signals the attack relies on — dataset census,
+// phase-1 quality, and per-iteration refinement progress (the view behind
+// the paper's Fig 10).
+//
+//   ./build/examples/pipeline_inspector [gowalla|brightkite]
+#include <cstdio>
+#include <cstring>
+
+#include "data/stats.h"
+#include "eval/harness.h"
+#include "graph/metrics.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  fs::util::set_log_level(fs::util::LogLevel::kDebug);
+  const bool brightkite = argc > 1 && std::strcmp(argv[1], "brightkite") == 0;
+  const fs::data::SyntheticWorldConfig world_cfg =
+      brightkite ? fs::data::brightkite_like() : fs::data::gowalla_like();
+
+  fs::eval::Experiment ex = fs::eval::make_experiment(world_cfg);
+  const fs::data::Dataset& ds = ex.dataset;
+
+  // ---- Dataset census (Table I / II flavor). ----
+  const fs::data::DatasetStats stats = fs::data::dataset_stats(ds);
+  std::printf("world %s: users=%zu pois=%zu checkins=%zu (%.1f/user) "
+              "links=%zu\n",
+              ex.name.c_str(), stats.users, stats.pois, stats.checkins,
+              stats.mean_checkins_per_user, stats.links);
+  const auto deg = fs::graph::degree_stats(ds.friendships());
+  std::printf("graph: mean degree=%.2f clustering=%.3f\n", deg.mean,
+              fs::graph::average_clustering(ds.friendships()));
+
+  std::vector<fs::data::UserPair> friend_pairs, nonfriend_pairs;
+  for (std::size_t i = 0; i < ex.split.test_pairs.size(); ++i)
+    (ex.split.test_labels[i] ? friend_pairs : nonfriend_pairs)
+        .push_back(ex.split.test_pairs[i]);
+  const auto census =
+      fs::data::co_presence_census(ds, friend_pairs, nonfriend_pairs);
+  std::printf("friends:     co-loc&co-friend=%.1f%%  co-loc only=%.1f%%  "
+              "co-friend only=%.1f%%  neither=%.1f%%\n",
+              census.friends[1][1] * 100, census.friends[1][0] * 100,
+              census.friends[0][1] * 100, census.friends[0][0] * 100);
+  std::printf("non-friends: co-loc&co-friend=%.1f%%  co-loc only=%.1f%%  "
+              "co-friend only=%.1f%%  neither=%.1f%%\n",
+              census.non_friends[1][1] * 100, census.non_friends[1][0] * 100,
+              census.non_friends[0][1] * 100,
+              census.non_friends[0][0] * 100);
+
+  // ---- FriendSeeker with per-iteration test F1. ----
+  fs::eval::FriendSeekerAttack seeker(fs::eval::default_seeker_config());
+  const fs::ml::Prf prf = fs::eval::run_attack(seeker, ex);
+  std::printf("\niter  F1      precision  recall   edges   change\n");
+  for (const auto& it : seeker.last_result().iterations) {
+    const fs::ml::Prf ip =
+        fs::ml::prf(ex.split.test_labels, it.test_predictions);
+    std::printf("%4d  %.4f  %.4f     %.4f   %5zu   %.4f\n", it.iteration,
+                ip.f1, ip.precision, ip.recall, it.graph_edges,
+                it.edge_change_ratio);
+  }
+  std::printf("\nfinal: F1=%.4f P=%.4f R=%.4f converged=%s\n", prf.f1,
+              prf.precision, prf.recall,
+              seeker.last_result().converged ? "yes" : "no");
+  return 0;
+}

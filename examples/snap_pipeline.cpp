@@ -1,0 +1,61 @@
+// SNAP-format pipeline: run the attack on an on-disk dataset in the exact
+// Gowalla/Brightkite SNAP layout. Without arguments, the example exports a
+// synthetic world to SNAP files, reloads it, and attacks the reloaded copy
+// — demonstrating the full external-data path. With arguments, it attacks
+// your files:
+//
+//   ./build/examples/snap_pipeline [checkins.txt edges.txt]
+//
+// File formats (tab/space separated):
+//   checkins: <user-ID> <ISO-8601 time> <lat> <lng> <location-ID>
+//   edges:    <user-ID> <user-ID>
+#include <cstdio>
+#include <filesystem>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  fs::util::set_log_level(fs::util::LogLevel::kInfo);
+
+  std::string checkins_path, edges_path;
+  if (argc >= 3) {
+    checkins_path = argv[1];
+    edges_path = argv[2];
+  } else {
+    // Export a synthetic world in SNAP format, then treat it as external.
+    const std::string dir = "snap_demo";
+    std::filesystem::create_directories(dir);
+    checkins_path = dir + "/checkins.txt";
+    edges_path = dir + "/edges.txt";
+    fs::data::SyntheticWorldConfig cfg = fs::data::gowalla_like();
+    cfg.user_count = 300;
+    cfg.poi_count = 800;
+    const fs::data::SyntheticWorld world = fs::data::generate_world(cfg);
+    fs::data::save_checkins_snap(world.dataset, checkins_path, edges_path);
+    std::printf("exported synthetic world to %s + %s\n",
+                checkins_path.c_str(), edges_path.c_str());
+  }
+
+  fs::data::LoadOptions options;
+  options.min_checkins = 2;  // the paper's activity floor
+  const fs::data::Dataset dataset =
+      fs::data::load_checkins_snap(checkins_path, edges_path, options);
+  std::printf("loaded: %zu users, %zu POIs, %zu check-ins, %zu links\n",
+              dataset.user_count(), dataset.poi_count(),
+              dataset.checkin_count(), dataset.friendships().edge_count());
+
+  fs::eval::Experiment experiment =
+      fs::eval::make_experiment(dataset, "snap-data");
+  fs::core::FriendSeekerConfig cfg = fs::eval::default_seeker_config();
+  cfg.sigma = std::max<std::size_t>(40, dataset.poi_count() / 8);
+  fs::eval::FriendSeekerAttack attack(cfg);
+  const fs::ml::Prf prf = fs::eval::run_attack(attack, experiment);
+  std::printf("\nFriendSeeker on %s: F1=%.3f precision=%.3f recall=%.3f\n",
+              checkins_path.c_str(), prf.f1, prf.precision, prf.recall);
+  std::printf("(point this at the real SNAP Gowalla/Brightkite dumps to "
+              "reproduce at paper scale)\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "baselines/baseline.h"
+
+namespace fs::baselines {
+
+TunedThreshold tune_threshold(const std::vector<double>& train_scores,
+                              const std::vector<int>& train_labels) {
+  const ml::TunedThreshold tuned =
+      ml::tune_f1_threshold(train_scores, train_labels);
+  return TunedThreshold{tuned.threshold, tuned.train_f1};
+}
+
+std::vector<int> apply_threshold(const std::vector<double>& scores,
+                                 double threshold) {
+  std::vector<int> out(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    out[i] = scores[i] >= threshold ? 1 : 0;
+  return out;
+}
+
+}  // namespace fs::baselines

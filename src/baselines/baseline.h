@@ -1,0 +1,42 @@
+// Common interface for friendship-inference attacks, so FriendSeeker and
+// the four baselines (Fig 11) run under one evaluation protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/metrics.h"
+
+namespace fs::baselines {
+
+/// A friendship-inference attack: trains on labeled pairs, predicts the
+/// test pairs. Implementations must not look at test labels.
+class FriendshipAttack {
+ public:
+  virtual ~FriendshipAttack() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::vector<int> infer(
+      const data::Dataset& dataset,
+      const std::vector<data::UserPair>& train_pairs,
+      const std::vector<int>& train_labels,
+      const std::vector<data::UserPair>& test_pairs) = 0;
+};
+
+/// Picks the score threshold maximizing F1 on the training scores, then
+/// thresholds the test scores with it. Shared by the score-based baselines
+/// (the original papers tune an operating point the same way).
+struct TunedThreshold {
+  double threshold = 0.0;
+  double train_f1 = 0.0;
+};
+
+TunedThreshold tune_threshold(const std::vector<double>& train_scores,
+                              const std::vector<int>& train_labels);
+
+std::vector<int> apply_threshold(const std::vector<double>& scores,
+                                 double threshold);
+
+}  // namespace fs::baselines

@@ -1,0 +1,43 @@
+#include "baselines/distance.h"
+
+namespace fs::baselines {
+
+geo::LatLng DistanceAttack::center_location(const data::Dataset& dataset,
+                                            data::UserId user) {
+  const auto trajectory = dataset.trajectory(user);
+  if (trajectory.empty()) return {};
+  double lat = 0.0, lng = 0.0;
+  for (const data::CheckIn& c : trajectory) {
+    lat += c.location.lat;
+    lng += c.location.lng;
+  }
+  const auto n = static_cast<double>(trajectory.size());
+  return {lat / n, lng / n};
+}
+
+std::vector<int> DistanceAttack::infer(
+    const data::Dataset& dataset,
+    const std::vector<data::UserPair>& train_pairs,
+    const std::vector<int>& train_labels,
+    const std::vector<data::UserPair>& test_pairs) {
+  std::vector<geo::LatLng> centers(dataset.user_count());
+  for (data::UserId u = 0; u < dataset.user_count(); ++u)
+    centers[u] = center_location(dataset, u);
+
+  auto score = [&](const data::UserPair& p) {
+    // Negated distance: nearer centers -> higher friendship score.
+    return -geo::equirectangular_m(centers[p.first], centers[p.second]);
+  };
+
+  std::vector<double> train_scores(train_pairs.size());
+  for (std::size_t i = 0; i < train_pairs.size(); ++i)
+    train_scores[i] = score(train_pairs[i]);
+  const TunedThreshold tuned = tune_threshold(train_scores, train_labels);
+
+  std::vector<double> test_scores(test_pairs.size());
+  for (std::size_t i = 0; i < test_pairs.size(); ++i)
+    test_scores[i] = score(test_pairs[i]);
+  return apply_threshold(test_scores, tuned.threshold);
+}
+
+}  // namespace fs::baselines

@@ -1,0 +1,26 @@
+// Distance-based knowledge attack (after Hsieh & Li, WWW'14): each user is
+// reduced to a check-in-frequency-weighted center location; pairs are scored
+// by the negated distance between centers.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "geo/latlng.h"
+
+namespace fs::baselines {
+
+class DistanceAttack final : public FriendshipAttack {
+ public:
+  std::string name() const override { return "distance"; }
+
+  std::vector<int> infer(const data::Dataset& dataset,
+                         const std::vector<data::UserPair>& train_pairs,
+                         const std::vector<int>& train_labels,
+                         const std::vector<data::UserPair>& test_pairs)
+      override;
+
+  /// Frequency-weighted centroid of a user's check-ins.
+  static geo::LatLng center_location(const data::Dataset& dataset,
+                                     data::UserId user);
+};
+
+}  // namespace fs::baselines

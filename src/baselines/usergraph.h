@@ -1,0 +1,45 @@
+// User-graph embedding (after Yu et al., IMWUT'18): random walks on a user
+// meeting graph whose edge weights are meeting frequencies reweighted by
+// POI attributes (category weight and popularity), then skip-gram
+// embeddings and cosine scoring.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "embed/skipgram.h"
+
+namespace fs::baselines {
+
+struct UserGraphConfig {
+  /// Two check-ins at the same POI within this window count as a meeting.
+  geo::Timestamp meeting_window = 24 * 3600;
+  embed::WalkConfig walks;
+  embed::SkipGramConfig skipgram;
+  /// Per-category multiplier for meeting weights (prior knowledge in the
+  /// original paper); empty = all categories weigh 1.
+  std::vector<double> category_weight;
+  std::uint64_t seed = 29;
+};
+
+class UserGraphAttack final : public FriendshipAttack {
+ public:
+  explicit UserGraphAttack(const UserGraphConfig& config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "user-graph-embedding"; }
+
+  std::vector<int> infer(const data::Dataset& dataset,
+                         const std::vector<data::UserPair>& train_pairs,
+                         const std::vector<int>& train_labels,
+                         const std::vector<data::UserPair>& test_pairs)
+      override;
+
+  /// The meeting graph over users: weight = sum over meetings of
+  /// category_weight / log(2 + POI popularity).
+  static embed::WeightedGraph build_meeting_graph(
+      const data::Dataset& dataset, const UserGraphConfig& config);
+
+ private:
+  UserGraphConfig config_;
+};
+
+}  // namespace fs::baselines

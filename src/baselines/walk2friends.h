@@ -1,0 +1,38 @@
+// walk2friends (Backes et al., CCS'17): random walks on the user-location
+// bipartite graph, skip-gram embeddings, cosine-similarity link scoring.
+#pragma once
+
+#include "baselines/baseline.h"
+#include "embed/skipgram.h"
+
+namespace fs::baselines {
+
+struct Walk2FriendsConfig {
+  embed::WalkConfig walks;        // walks per node / walk length
+  embed::SkipGramConfig skipgram;
+  std::uint64_t seed = 23;
+};
+
+class Walk2FriendsAttack final : public FriendshipAttack {
+ public:
+  explicit Walk2FriendsAttack(const Walk2FriendsConfig& config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "walk2friends"; }
+
+  std::vector<int> infer(const data::Dataset& dataset,
+                         const std::vector<data::UserPair>& train_pairs,
+                         const std::vector<int>& train_labels,
+                         const std::vector<data::UserPair>& test_pairs)
+      override;
+
+  /// Builds the user-location bipartite graph: users occupy ids
+  /// [0, user_count), POIs [user_count, user_count + poi_count); edge
+  /// weight = the user's check-in count at the POI.
+  static embed::WeightedGraph build_bipartite(const data::Dataset& dataset);
+
+ private:
+  Walk2FriendsConfig config_;
+};
+
+}  // namespace fs::baselines

@@ -1,0 +1,95 @@
+#include "core/joc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace fs::core {
+
+OccupancyIndex::OccupancyIndex(const data::Dataset& dataset,
+                               const geo::SpatialDivision& division,
+                               const geo::TimeSlotting& slots)
+    : grid_count_(division.cell_count()),
+      slot_count_(slots.slot_count()),
+      per_user_(dataset.user_count()) {
+  for (data::UserId u = 0; u < dataset.user_count(); ++u) {
+    auto& entries = per_user_[u];
+    for (const data::CheckIn& c : dataset.trajectory(u)) {
+      const std::size_t grid = division.cell_of(c.location);
+      const std::size_t slot = slots.slot_of(c.time);
+      entries.push_back(Entry{
+          static_cast<std::uint32_t>(grid * slot_count_ + slot), c.poi, 1});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& x, const Entry& y) {
+                if (x.cellslot != y.cellslot) return x.cellslot < y.cellslot;
+                return x.poi < y.poi;
+              });
+    // Collapse duplicates into counts.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < entries.size(); ++read) {
+      if (write > 0 && entries[write - 1].cellslot == entries[read].cellslot &&
+          entries[write - 1].poi == entries[read].poi) {
+        ++entries[write - 1].count;
+      } else {
+        entries[write++] = entries[read];
+      }
+    }
+    entries.resize(write);
+  }
+}
+
+const std::vector<OccupancyIndex::Entry>& OccupancyIndex::user_entries(
+    data::UserId user) const {
+  return per_user_.at(user);
+}
+
+void build_joc(const OccupancyIndex& index, data::UserId a, data::UserId b,
+               double* out, const JocOptions& options) {
+  const std::size_t cells = index.grid_count() * index.slot_count();
+  std::memset(out, 0, cells * 3 * sizeof(double));
+  // Layout: [n_a(cell 0..C-1) | n_b(...) | n_ab(...)], cell-major per
+  // channel; channel separation helps the dense encoder find per-channel
+  // structure.
+  double* na = out;
+  double* nb = out + cells;
+  double* nab = out + 2 * cells;
+
+  const auto& ea = index.user_entries(a);
+  const auto& eb = index.user_entries(b);
+  for (const auto& e : ea) na[e.cellslot] += e.count;
+  for (const auto& e : eb) nb[e.cellslot] += e.count;
+
+  // n_ab: count POIs present in BOTH users' entry lists for the same cell.
+  std::size_t ia = 0, ib = 0;
+  while (ia < ea.size() && ib < eb.size()) {
+    const auto ka = std::make_pair(ea[ia].cellslot, ea[ia].poi);
+    const auto kb = std::make_pair(eb[ib].cellslot, eb[ib].poi);
+    if (ka < kb) {
+      ++ia;
+    } else if (kb < ka) {
+      ++ib;
+    } else {
+      nab[ea[ia].cellslot] += 1.0;
+      ++ia;
+      ++ib;
+    }
+  }
+
+  if (options.log_scale) {
+    for (std::size_t i = 0; i < cells * 3; ++i)
+      out[i] = std::log1p(out[i]);
+  }
+}
+
+nn::Matrix build_joc_matrix(const OccupancyIndex& index,
+                            const std::vector<data::UserPair>& pairs,
+                            const JocOptions& options) {
+  nn::Matrix m(pairs.size(), index.joc_dim());
+  for (std::size_t r = 0; r < pairs.size(); ++r)
+    build_joc(index, pairs[r].first, pairs[r].second, m.row(r), options);
+  return m;
+}
+
+}  // namespace fs::core

@@ -1,0 +1,65 @@
+// Joint Occurrence Cuboid construction (Definitions 8-9, Fig 3).
+//
+// Both users' trajectories are cast into the spatial-temporal division; for
+// every (grid, slot) cell the cuboid stores three indicators: the users'
+// check-in counts n_a and n_b, and the number of POIs visited by BOTH users
+// in that cell, n_ab. The flattened cuboid (I*J*3 values) is the input to
+// the supervised autoencoder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/spatial_division.h"
+#include "geo/time_slots.h"
+#include "nn/matrix.h"
+
+namespace fs::core {
+
+/// Per-user occupancy index: check-ins aggregated by (cell, slot, POI),
+/// sorted for pairwise merging. Built once per division/tau setting and
+/// reused across all pairs — JOC construction is the hot path.
+class OccupancyIndex {
+ public:
+  OccupancyIndex(const data::Dataset& dataset,
+                 const geo::SpatialDivision& division,
+                 const geo::TimeSlotting& slots);
+
+  struct Entry {
+    std::uint32_t cellslot;  // grid * slot_count + slot
+    data::PoiId poi;
+    std::uint32_t count;
+  };
+
+  const std::vector<Entry>& user_entries(data::UserId user) const;
+
+  std::size_t grid_count() const { return grid_count_; }
+  std::size_t slot_count() const { return slot_count_; }
+
+  /// Flattened JOC dimensionality: I * J * 3.
+  std::size_t joc_dim() const { return grid_count_ * slot_count_ * 3; }
+
+ private:
+  std::size_t grid_count_;
+  std::size_t slot_count_;
+  std::vector<std::vector<Entry>> per_user_;
+};
+
+struct JocOptions {
+  /// log1p-compress the three indicators: check-in counts are heavy-tailed
+  /// and raw counts destabilize autoencoder training. Monotone per cell, so
+  /// it preserves which cells carry signal.
+  bool log_scale = true;
+};
+
+/// Writes the flattened JOC of (a, b) into `out` (size joc_dim()).
+void build_joc(const OccupancyIndex& index, data::UserId a, data::UserId b,
+               double* out, const JocOptions& options = {});
+
+/// Builds the JOC matrix for a list of pairs (one row per pair).
+nn::Matrix build_joc_matrix(const OccupancyIndex& index,
+                            const std::vector<data::UserPair>& pairs,
+                            const JocOptions& options = {});
+
+}  // namespace fs::core

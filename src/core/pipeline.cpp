@@ -1,0 +1,277 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/joc.h"
+#include "geo/spatial_division.h"
+#include "geo/time_slots.h"
+#include "graph/metrics.h"
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fs::core {
+
+FriendSeeker::FriendSeeker(const FriendSeekerConfig& config)
+    : config_(config) {
+  if (config.k < 2)
+    throw std::invalid_argument("FriendSeeker: k must be >= 2");
+  if (config.tau_days <= 0.0)
+    throw std::invalid_argument("FriendSeeker: tau must be > 0");
+}
+
+namespace {
+
+/// All candidate pairs (train + test) with a dense row index; the social
+/// graph only ever contains candidate edges, so each edge has a feature row.
+struct PairUniverse {
+  std::vector<data::UserPair> pairs;
+  std::map<data::UserPair, std::size_t> row_of;
+
+  void add(const std::vector<data::UserPair>& more) {
+    for (const data::UserPair& p : more) {
+      const data::UserPair key = data::make_pair_ordered(p.first, p.second);
+      if (row_of.emplace(key, pairs.size()).second) pairs.push_back(key);
+    }
+  }
+};
+
+graph::Graph graph_from_predictions(std::size_t user_count,
+                                    const PairUniverse& universe,
+                                    const std::vector<int>& predictions) {
+  graph::Graph g(user_count);
+  for (std::size_t i = 0; i < universe.pairs.size(); ++i)
+    if (predictions[i])
+      g.add_edge(universe.pairs[i].first, universe.pairs[i].second);
+  return g;
+}
+
+}  // namespace
+
+FriendSeekerResult FriendSeeker::run(
+    const data::Dataset& dataset,
+    const std::vector<data::UserPair>& train_pairs,
+    const std::vector<int>& train_labels,
+    const std::vector<data::UserPair>& test_pairs) {
+  if (train_pairs.size() != train_labels.size())
+    throw std::invalid_argument("FriendSeeker::run: train size mismatch");
+  if (train_pairs.empty() || test_pairs.empty())
+    throw std::invalid_argument("FriendSeeker::run: empty pair lists");
+
+  // ---- Spatial-temporal division. ----
+  const std::vector<geo::LatLng> poi_coords = dataset.poi_coordinates();
+  std::unique_ptr<geo::QuadtreeDivision> quadtree;
+  std::unique_ptr<geo::UniformGridDivision> uniform;
+  std::unique_ptr<geo::SpatialDivision> division;
+  if (config_.uniform_grid) {
+    uniform = std::make_unique<geo::UniformGridDivision>(
+        poi_coords, config_.uniform_rows, config_.uniform_cols);
+    division = std::make_unique<geo::UniformGridDivisionView>(*uniform);
+  } else {
+    quadtree =
+        std::make_unique<geo::QuadtreeDivision>(poi_coords, config_.sigma);
+    division = std::make_unique<geo::QuadtreeDivisionView>(*quadtree);
+  }
+  const geo::TimeSlotting slots(
+      dataset.window_begin(), dataset.window_end(),
+      static_cast<geo::Timestamp>(config_.tau_days * geo::kSecondsPerDay));
+  const OccupancyIndex occupancy(dataset, *division, slots);
+  util::log_debug("FriendSeeker: STD I=", division->cell_count(),
+                  " J=", slots.slot_count(), " joc_dim=", occupancy.joc_dim());
+
+  // ---- Candidate-pair universe and JOCs. ----
+  PairUniverse universe;
+  universe.add(train_pairs);
+  universe.add(test_pairs);
+  const nn::Matrix all_jocs = build_joc_matrix(occupancy, universe.pairs);
+
+  auto rows_of = [&](const std::vector<data::UserPair>& pairs) {
+    std::vector<std::size_t> rows;
+    rows.reserve(pairs.size());
+    for (const data::UserPair& p : pairs)
+      rows.push_back(
+          universe.row_of.at(data::make_pair_ordered(p.first, p.second)));
+    return rows;
+  };
+  const std::vector<std::size_t> train_rows = rows_of(train_pairs);
+  const std::vector<std::size_t> test_rows = rows_of(test_pairs);
+
+  // ---- Phase 1: presence model. ----
+  PresenceModelConfig presence_cfg = config_.presence;
+  presence_cfg.seed ^= config_.seed;
+  PresenceModel presence(presence_cfg);
+  util::Stopwatch phase1_timer;
+  presence.train(all_jocs.gather_rows(train_rows), train_labels);
+  util::log_debug("FriendSeeker: phase-1 training ", phase1_timer.seconds(),
+                  "s");
+
+  const nn::Matrix embeddings = presence.encode(all_jocs);
+  const std::vector<double> phase1_proba =
+      presence.predict_proba_encoded(embeddings);
+
+  // The operating point is picked on the training split (every attack in
+  // the evaluation does the same — the attacker maximizes train F1).
+  auto tune_on_train = [&](const std::vector<double>& scores) {
+    std::vector<double> train_scores;
+    train_scores.reserve(train_rows.size());
+    for (std::size_t row : train_rows) train_scores.push_back(scores[row]);
+    return ml::tune_f1_threshold(train_scores, train_labels).threshold;
+  };
+
+  // Phase 1 seeds the graph; a too-permissive cut floods G(0) with
+  // false edges that phase 2 then has to prune back (overshoot). The seed
+  // cut is therefore never below the KNN's natural majority threshold.
+  const double phase1_cut = std::max(tune_on_train(phase1_proba), 0.5);
+  std::vector<int> predictions(universe.pairs.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    predictions[i] = phase1_proba[i] >= phase1_cut;
+
+  FriendSeekerResult result;
+  auto record_iteration = [&](int iteration, double change,
+                              const graph::Graph& g) {
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.edge_change_ratio = change;
+    rec.graph_edges = g.edge_count();
+    rec.test_predictions.reserve(test_rows.size());
+    for (std::size_t row : test_rows)
+      rec.test_predictions.push_back(predictions[row]);
+    result.iterations.push_back(std::move(rec));
+  };
+
+  graph::Graph current = graph_from_predictions(dataset.user_count(),
+                                                universe, predictions);
+  record_iteration(0, 1.0, current);
+  util::log_debug("FriendSeeker: phase-1 graph edges=", current.edge_count());
+
+  std::vector<double> scores(phase1_proba);
+
+  if (config_.iterate) {
+    // ---- Phase 2: iterative hidden-friends inference. ----
+    const std::size_t d = presence.feature_dim();
+    SocialFeatureConfig social_cfg;
+    social_cfg.k = config_.k;
+    social_cfg.feature_dim = d;
+
+    const std::size_t social_width =
+        static_cast<std::size_t>(config_.k - 1) * d;
+    const std::size_t composite_width = d + social_width;
+
+    EdgeFeatureFn edge_feature = [&](data::UserId a, data::UserId b,
+                                     std::vector<double>& out) {
+      const auto it =
+          universe.row_of.find(data::make_pair_ordered(a, b));
+      if (it == universe.row_of.end()) return false;
+      out.assign(embeddings.row(it->second),
+                 embeddings.row(it->second) + d);
+      return true;
+    };
+
+    util::Rng svm_rng(config_.seed ^ 0x5117ULL);
+    for (int iteration = 1; iteration <= config_.max_iterations;
+         ++iteration) {
+      util::Stopwatch iter_timer;
+      // Composite features v = h ⊕ s for every candidate pair on the
+      // current graph.
+      nn::Matrix composite(universe.pairs.size(), composite_width);
+      for (std::size_t i = 0; i < universe.pairs.size(); ++i) {
+        const auto [a, b] = universe.pairs[i];
+        double* row = composite.row(i);
+        const double* h = embeddings.row(i);
+        std::copy(h, h + d, row);
+        const std::vector<double> s =
+            config_.use_social_feature
+                ? social_proximity_feature(current, a, b, social_cfg,
+                                           edge_feature)
+                : heuristic_social_feature(current, a, b, social_cfg);
+        std::copy(s.begin(), s.end(), row + d);
+      }
+
+      // Train C' on the labeled pairs (subsampled under the kernel cap).
+      std::vector<std::size_t> svm_rows = train_rows;
+      std::vector<int> svm_labels = train_labels;
+      if (svm_rows.size() > config_.max_svm_train_rows) {
+        std::vector<std::size_t> order(svm_rows.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        svm_rng.shuffle(order);
+        order.resize(config_.max_svm_train_rows);
+        std::vector<std::size_t> sub_rows;
+        std::vector<int> sub_labels;
+        for (std::size_t i : order) {
+          sub_rows.push_back(svm_rows[i]);
+          sub_labels.push_back(svm_labels[i]);
+        }
+        svm_rows = std::move(sub_rows);
+        svm_labels = std::move(sub_labels);
+      }
+
+      ml::StandardScaler scaler;
+      const nn::Matrix svm_train =
+          scaler.fit_transform(composite.gather_rows(svm_rows));
+      const nn::Matrix all_scaled = scaler.transform(composite);
+      std::vector<double> decision;
+      if (config_.phase2_classifier ==
+          FriendSeekerConfig::Phase2Classifier::kLogistic) {
+        ml::LogisticClassifier clf(config_.logistic);
+        clf.fit(svm_train, svm_labels);
+        decision = clf.decision(all_scaled);
+      } else {
+        ml::SvmConfig svm_cfg = config_.svm;
+        svm_cfg.seed ^= static_cast<std::uint64_t>(iteration);
+        ml::SvmClassifier svm(svm_cfg);
+        svm.fit(svm_train, svm_labels);
+        decision = svm.decision(all_scaled);
+      }
+      const double cut = tune_on_train(decision);
+      // Hysteresis: borderline pairs keep their previous state, so the
+      // graph settles instead of oscillating around the cut.
+      double margin = 0.0;
+      if (config_.flip_margin > 0.0) {
+        double mean = 0.0, sq = 0.0;
+        for (double d : decision) mean += d;
+        mean /= static_cast<double>(decision.size());
+        for (double d : decision) sq += (d - mean) * (d - mean);
+        margin = config_.flip_margin *
+                 std::sqrt(sq / static_cast<double>(decision.size()));
+      }
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        if (decision[i] >= cut + margin) {
+          predictions[i] = 1;
+        } else if (decision[i] < cut - margin) {
+          predictions[i] = 0;
+        }
+        // else: inside the hysteresis band — keep the previous state.
+      }
+      scores = decision;
+
+      graph::Graph next = graph_from_predictions(dataset.user_count(),
+                                                 universe, predictions);
+      const double change = graph::edge_change_ratio(current, next);
+      current = std::move(next);
+      record_iteration(iteration, change, current);
+      result.iterations_run = iteration;
+      util::log_debug("FriendSeeker: iter=", iteration,
+                      " edges=", current.edge_count(), " change=", change,
+                      " (", iter_timer.seconds(), "s)");
+      if (change < config_.convergence_threshold) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  result.test_predictions.reserve(test_rows.size());
+  result.test_scores.reserve(test_rows.size());
+  for (std::size_t row : test_rows) {
+    result.test_predictions.push_back(predictions[row]);
+    result.test_scores.push_back(scores[row]);
+  }
+  result.final_graph = std::move(current);
+  return result;
+}
+
+}  // namespace fs::core

@@ -1,0 +1,59 @@
+#include "core/social.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/heuristics.h"
+
+namespace fs::core {
+
+std::vector<double> social_proximity_feature(
+    const graph::Graph& g, data::UserId a, data::UserId b,
+    const SocialFeatureConfig& config, const EdgeFeatureFn& edge_feature) {
+  if (config.k < 2)
+    throw std::invalid_argument("social_proximity_feature: k must be >= 2");
+  graph::KHopOptions khop = config.khop;
+  khop.k = config.k;
+  const graph::KHopSubgraph sub = graph::extract_khop_subgraph(g, a, b, khop);
+
+  const std::size_t d = config.feature_dim;
+  std::vector<double> feature(static_cast<std::size_t>(config.k - 1) * d,
+                              0.0);
+  std::vector<double> edge_vec;
+  for (std::size_t bucket = 0; bucket < sub.paths_by_length.size();
+       ++bucket) {
+    double* slot = feature.data() + bucket * d;
+    for (const graph::Path& path : sub.paths_by_length[bucket]) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (!edge_feature(path[i], path[i + 1], edge_vec)) continue;
+        if (edge_vec.size() != d)
+          throw std::logic_error(
+              "social_proximity_feature: edge feature width mismatch");
+        for (std::size_t c = 0; c < d; ++c) slot[c] += edge_vec[c];
+      }
+    }
+  }
+  return feature;
+}
+
+std::vector<double> heuristic_social_feature(
+    const graph::Graph& g, data::UserId a, data::UserId b,
+    const SocialFeatureConfig& config) {
+  if (config.k < 2)
+    throw std::invalid_argument("heuristic_social_feature: k must be >= 2");
+  std::vector<double> feature;
+  feature.push_back(graph::common_neighbors_score(g, a, b));
+  feature.push_back(graph::jaccard_score(g, a, b));
+  feature.push_back(graph::adamic_adar_score(g, a, b));
+  feature.push_back(graph::katz_score(g, a, b, 0.05, config.k));
+  graph::KHopOptions khop = config.khop;
+  khop.k = config.k;
+  for (std::size_t n : graph::khop_path_counts(g, a, b, khop))
+    feature.push_back(static_cast<double>(n));
+  // Same width as the paper's feature so classifiers are interchangeable.
+  feature.resize(static_cast<std::size_t>(config.k - 1) * config.feature_dim,
+                 0.0);
+  return feature;
+}
+
+}  // namespace fs::core

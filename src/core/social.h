@@ -1,0 +1,46 @@
+// Phase 2 features: social-proximity vectors from k-hop reachable subgraphs
+// (Section III-C.2, Fig 6).
+//
+// For a pair (a, b), the k-hop reachable subgraph is decomposed by path
+// length; the presence features h of the edges on same-length paths are
+// summed, and the per-length sums are concatenated — yielding a
+// (k-1) * d social-proximity vector s. The composite phase-2 feature is
+// v = h_(a,b) ⊕ s_(a,b).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/khop.h"
+
+namespace fs::core {
+
+/// Supplies the presence feature of an edge (i, j); returns false when the
+/// pair has no feature available (edge outside the candidate universe). A
+/// missing edge contributes nothing to the sum.
+using EdgeFeatureFn =
+    std::function<bool(data::UserId, data::UserId, std::vector<double>&)>;
+
+struct SocialFeatureConfig {
+  int k = 3;
+  std::size_t feature_dim = 64;  // must equal the presence feature dim
+  graph::KHopOptions khop;       // khop.k is overwritten with k
+};
+
+/// Computes s_(a,b) on graph `g`. The returned vector has
+/// (k - 1) * feature_dim entries: slot 0 sums edge features over length-2
+/// paths, slot 1 over length-3 paths, and so on.
+std::vector<double> social_proximity_feature(const graph::Graph& g,
+                                             data::UserId a, data::UserId b,
+                                             const SocialFeatureConfig& config,
+                                             const EdgeFeatureFn& edge_feature);
+
+/// Heuristic alternative for the ablation: [common neighbors, Jaccard,
+/// Adamic-Adar, Katz, path counts per length 2..k], zero-padded/truncated
+/// to the same width as the paper's feature for drop-in comparison.
+std::vector<double> heuristic_social_feature(const graph::Graph& g,
+                                             data::UserId a, data::UserId b,
+                                             const SocialFeatureConfig& config);
+
+}  // namespace fs::core

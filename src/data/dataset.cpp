@@ -1,0 +1,96 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fs::data {
+
+Dataset Dataset::build(std::size_t user_count, std::vector<Poi> pois,
+                       std::vector<CheckIn> checkins,
+                       graph::Graph friendships) {
+  if (friendships.node_count() != user_count)
+    throw std::invalid_argument(
+        "Dataset::build: friendship graph size != user count");
+  for (const CheckIn& c : checkins) {
+    if (c.user >= user_count)
+      throw std::invalid_argument("Dataset::build: check-in user out of range");
+    if (c.poi >= pois.size())
+      throw std::invalid_argument("Dataset::build: check-in POI out of range");
+  }
+
+  Dataset ds;
+  ds.user_count_ = user_count;
+  ds.pois_ = std::move(pois);
+  ds.checkins_ = std::move(checkins);
+  ds.friendships_ = std::move(friendships);
+
+  std::sort(ds.checkins_.begin(), ds.checkins_.end(),
+            [](const CheckIn& x, const CheckIn& y) {
+              if (x.user != y.user) return x.user < y.user;
+              if (x.time != y.time) return x.time < y.time;
+              return x.poi < y.poi;
+            });
+
+  ds.user_offsets_.assign(user_count + 1, 0);
+  for (const CheckIn& c : ds.checkins_) ++ds.user_offsets_[c.user + 1];
+  for (std::size_t u = 0; u < user_count; ++u)
+    ds.user_offsets_[u + 1] += ds.user_offsets_[u];
+
+  if (!ds.checkins_.empty()) {
+    auto [lo, hi] = std::minmax_element(
+        ds.checkins_.begin(), ds.checkins_.end(),
+        [](const CheckIn& x, const CheckIn& y) { return x.time < y.time; });
+    ds.window_begin_ = lo->time;
+    ds.window_end_ = hi->time + 1;  // half-open
+  }
+  return ds;
+}
+
+std::span<const CheckIn> Dataset::trajectory(UserId user) const {
+  if (user >= user_count_)
+    throw std::out_of_range("Dataset::trajectory: user out of range");
+  const std::size_t begin = user_offsets_[user];
+  const std::size_t end = user_offsets_[user + 1];
+  return {checkins_.data() + begin, end - begin};
+}
+
+std::vector<PoiId> Dataset::visited_pois(UserId user) const {
+  std::vector<PoiId> out;
+  for (const CheckIn& c : trajectory(user)) out.push_back(c.poi);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Dataset::common_poi_count(UserId a, UserId b) const {
+  const std::vector<PoiId> pa = visited_pois(a);
+  const std::vector<PoiId> pb = visited_pois(b);
+  std::size_t count = 0;
+  auto ia = pa.begin();
+  auto ib = pb.begin();
+  while (ia != pa.end() && ib != pb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+std::vector<geo::LatLng> Dataset::poi_coordinates() const {
+  std::vector<geo::LatLng> out;
+  out.reserve(pois_.size());
+  for (const Poi& p : pois_) out.push_back(p.location);
+  return out;
+}
+
+Dataset Dataset::with_checkins(std::vector<CheckIn> checkins) const {
+  return build(user_count_, pois_, std::move(checkins), friendships_);
+}
+
+}  // namespace fs::data

@@ -1,0 +1,99 @@
+// Check-in dataset model (Definitions 1-5): POIs, check-ins, trajectories,
+// and the ground-truth social graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geo/latlng.h"
+#include "geo/time_slots.h"
+#include "graph/graph.h"
+
+namespace fs::data {
+
+using UserId = graph::NodeId;
+using PoiId = std::uint32_t;
+
+/// An unordered user pair; by convention first < second.
+using UserPair = std::pair<UserId, UserId>;
+
+inline UserPair make_pair_ordered(UserId a, UserId b) {
+  return a < b ? UserPair{a, b} : UserPair{b, a};
+}
+
+/// A point of interest. The paper's Definition 1 carries a radius; check-ins
+/// are already POI-resolved here, so the radius only matters during synthesis
+/// and is not stored.
+struct Poi {
+  geo::LatLng location;
+  std::uint16_t category = 0;  // venue category (used by the Yu et al. baseline)
+};
+
+/// A check-in (Definition 2): user u visited POI p at time t. The raw
+/// coordinate is retained because obfuscation mechanisms perturb it.
+struct CheckIn {
+  UserId user = 0;
+  PoiId poi = 0;
+  geo::Timestamp time = 0;
+  geo::LatLng location;
+};
+
+/// An immutable check-in dataset with per-user trajectory indexing.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds the dataset: sorts check-ins by (user, time) and indexes
+  /// per-user trajectories. `friendships` is the ground truth social graph;
+  /// its node count must equal `user_count`.
+  static Dataset build(std::size_t user_count, std::vector<Poi> pois,
+                       std::vector<CheckIn> checkins,
+                       graph::Graph friendships);
+
+  std::size_t user_count() const { return user_count_; }
+  std::size_t poi_count() const { return pois_.size(); }
+  std::size_t checkin_count() const { return checkins_.size(); }
+
+  const Poi& poi(PoiId id) const { return pois_.at(id); }
+  const std::vector<Poi>& pois() const { return pois_; }
+  const std::vector<CheckIn>& checkins() const { return checkins_; }
+  const graph::Graph& friendships() const { return friendships_; }
+
+  /// The user's trajectory (Definition 3), time-ordered.
+  std::span<const CheckIn> trajectory(UserId user) const;
+
+  std::size_t checkin_count(UserId user) const {
+    return trajectory(user).size();
+  }
+
+  /// Sorted distinct POIs the user ever visited.
+  std::vector<PoiId> visited_pois(UserId user) const;
+
+  /// Number of distinct POIs visited by both users (the co-location count
+  /// used by Table II / Fig 1 / Fig 12).
+  std::size_t common_poi_count(UserId a, UserId b) const;
+
+  /// Observation window [begin, end): derived from the data at build time.
+  geo::Timestamp window_begin() const { return window_begin_; }
+  geo::Timestamp window_end() const { return window_end_; }
+
+  /// All POI coordinates, indexable by PoiId (for spatial division builds).
+  std::vector<geo::LatLng> poi_coordinates() const;
+
+  /// Returns a copy with the same POIs/graph but different check-ins
+  /// (obfuscation mechanisms produce these).
+  Dataset with_checkins(std::vector<CheckIn> checkins) const;
+
+ private:
+  std::size_t user_count_ = 0;
+  std::vector<Poi> pois_;
+  std::vector<CheckIn> checkins_;
+  std::vector<std::size_t> user_offsets_;  // user_count_ + 1 entries
+  graph::Graph friendships_;
+  geo::Timestamp window_begin_ = 0;
+  geo::Timestamp window_end_ = 0;
+};
+
+}  // namespace fs::data

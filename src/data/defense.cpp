@@ -1,0 +1,116 @@
+#include "data/defense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fs::data {
+
+std::vector<double> checkin_evidence_scores(const Dataset& dataset,
+                                            const FriendGuardConfig& config) {
+  const auto& checkins = dataset.checkins();
+
+  // Group check-in indices by POI, time-sorted, to count co-occurrences
+  // with a sliding window.
+  std::vector<std::vector<std::size_t>> by_poi(dataset.poi_count());
+  for (std::size_t i = 0; i < checkins.size(); ++i)
+    by_poi[checkins[i].poi].push_back(i);
+
+  // POI popularity (distinct visitors) for the rarity term.
+  std::vector<std::size_t> popularity(dataset.poi_count(), 0);
+  for (PoiId p = 0; p < dataset.poi_count(); ++p) {
+    std::vector<UserId> visitors;
+    for (std::size_t idx : by_poi[p]) visitors.push_back(checkins[idx].user);
+    std::sort(visitors.begin(), visitors.end());
+    visitors.erase(std::unique(visitors.begin(), visitors.end()),
+                   visitors.end());
+    popularity[p] = visitors.size();
+  }
+
+  std::vector<double> scores(checkins.size(), 0.0);
+  for (PoiId p = 0; p < dataset.poi_count(); ++p) {
+    auto& events = by_poi[p];
+    std::sort(events.begin(), events.end(),
+              [&](std::size_t x, std::size_t y) {
+                return checkins[x].time < checkins[y].time;
+              });
+    const double rarity =
+        config.rarity_weight /
+        std::log(2.0 + static_cast<double>(popularity[p]));
+    // Sliding window: count other-user check-ins within the window.
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const geo::Timestamp t = checkins[events[i]].time;
+      while (checkins[events[lo]].time + config.cooccurrence_window < t)
+        ++lo;
+      std::size_t cooccurrences = 0;
+      for (std::size_t j = lo; j < events.size(); ++j) {
+        if (checkins[events[j]].time > t + config.cooccurrence_window) break;
+        if (checkins[events[j]].user != checkins[events[i]].user)
+          ++cooccurrences;
+      }
+      scores[events[i]] =
+          static_cast<double>(cooccurrences) * rarity +
+          (popularity[p] > 1 ? rarity : 0.0);
+    }
+  }
+  return scores;
+}
+
+Dataset friend_guard(const Dataset& dataset,
+                     const geo::QuadtreeDivision& division,
+                     const FriendGuardConfig& config) {
+  if (config.budget < 0.0 || config.budget > 1.0)
+    throw std::invalid_argument("friend_guard: budget must be in [0, 1]");
+
+  const std::vector<double> scores =
+      checkin_evidence_scores(dataset, config);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return scores[x] > scores[y];
+  });
+
+  const auto budget_count = static_cast<std::size_t>(
+      config.budget * static_cast<double>(scores.size()));
+  util::Rng rng(config.seed);
+
+  std::vector<CheckIn> out(dataset.checkins());
+  const geo::Timestamp week = 7 * geo::kSecondsPerDay;
+  for (std::size_t rank = 0; rank < budget_count && rank < order.size();
+       ++rank) {
+    const std::size_t idx = order[rank];
+    if (scores[idx] <= 0.0) break;  // remaining records carry no evidence
+    CheckIn& c = out[idx];
+    if (rng.chance(config.relocate_probability)) {
+      // Evidence blending: move to the most popular POI in the same grid
+      // (the "hub") — the record stays in its spatial cell but no longer
+      // pins a rare shared place.
+      const std::size_t cell = division.cell_of_poi(c.poi);
+      const auto& candidates = division.cell_pois(cell);
+      if (candidates.size() > 1) {
+        PoiId replacement = c.poi;
+        // Pick any other POI in the cell, favoring a different one.
+        for (int attempt = 0; attempt < 4 && replacement == c.poi; ++attempt)
+          replacement = candidates[rng.index(candidates.size())];
+        if (replacement != c.poi) {
+          c.poi = replacement;
+          c.location = dataset.poi(replacement).location;
+          continue;
+        }
+      }
+      // Fall through to re-timing when the cell has no alternative.
+    }
+    // Re-timing: shift to a uniformly random moment within +-half a week,
+    // clamped into the observation window. Breaks co-occurrence alignment
+    // but keeps the record (and roughly its week) for utility.
+    const geo::Timestamp jitter =
+        static_cast<geo::Timestamp>(rng.range(-week / 2, week / 2));
+    c.time = std::clamp(c.time + jitter, dataset.window_begin(),
+                        dataset.window_end() - 1);
+  }
+  return dataset.with_checkins(std::move(out));
+}
+
+}  // namespace fs::data

@@ -1,0 +1,166 @@
+#include "data/loader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace fs::data {
+
+namespace {
+
+/// Days since 1970-01-01 for a proleptic Gregorian date (Howard Hinnant's
+/// days_from_civil algorithm).
+long long days_from_civil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<long long>(era) * 146097 +
+         static_cast<long long>(doe) - 719468;
+}
+
+}  // namespace
+
+geo::Timestamp parse_iso8601_utc(const std::string& text) {
+  int y = 0;
+  unsigned mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  // Accepts both "T...Z" and "space" separators.
+  if (std::sscanf(text.c_str(), "%d-%u-%u%*[T ]%u:%u:%u", &y, &mo, &d, &h,
+                  &mi, &s) != 6)
+    throw std::invalid_argument("parse_iso8601_utc: bad timestamp '" + text +
+                                "'");
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || s > 60)
+    throw std::invalid_argument("parse_iso8601_utc: out-of-range field in '" +
+                                text + "'");
+  return days_from_civil(y, mo, d) * geo::kSecondsPerDay +
+         static_cast<geo::Timestamp>(h) * 3600 + mi * 60 + s;
+}
+
+Dataset load_checkins_snap(const std::string& checkins_path,
+                           const std::string& edges_path,
+                           const LoadOptions& options) {
+  std::ifstream checkin_file(checkins_path);
+  if (!checkin_file)
+    throw std::runtime_error("load_checkins_snap: cannot open " +
+                             checkins_path);
+
+  struct RawCheckin {
+    long long user;
+    geo::Timestamp time;
+    geo::LatLng location;
+    long long poi;
+  };
+  std::vector<RawCheckin> raw;
+  std::unordered_map<long long, std::size_t> user_checkin_count;
+  std::string line;
+  while (std::getline(checkin_file, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::split_whitespace(trimmed);
+    if (fields.size() < 5)
+      throw std::runtime_error("load_checkins_snap: short line '" + line +
+                               "'");
+    RawCheckin rc;
+    rc.user = util::parse_int(fields[0]);
+    rc.time = parse_iso8601_utc(std::string(fields[1]));
+    rc.location.lat = util::parse_double(fields[2]);
+    rc.location.lng = util::parse_double(fields[3]);
+    rc.poi = util::parse_int(fields[4]);
+    ++user_checkin_count[rc.user];
+    raw.push_back(rc);
+  }
+
+  // Select users passing the activity floor; densify ids deterministically
+  // (ascending original id).
+  std::map<long long, UserId> user_map;
+  for (const auto& [user, count] : user_checkin_count)
+    if (count >= static_cast<std::size_t>(options.min_checkins))
+      user_map.emplace(user, 0);
+  if (options.max_users != 0 && user_map.size() > options.max_users) {
+    auto it = user_map.begin();
+    std::advance(it, static_cast<long>(options.max_users));
+    user_map.erase(it, user_map.end());
+  }
+  UserId next_user = 0;
+  for (auto& [user, dense] : user_map) dense = next_user++;
+
+  std::map<long long, PoiId> poi_map;
+  std::vector<Poi> pois;
+  std::vector<CheckIn> checkins;
+  for (const RawCheckin& rc : raw) {
+    const auto uit = user_map.find(rc.user);
+    if (uit == user_map.end()) continue;
+    auto [pit, inserted] =
+        poi_map.emplace(rc.poi, static_cast<PoiId>(pois.size()));
+    if (inserted) pois.push_back(Poi{rc.location, 0});
+    checkins.push_back(CheckIn{uit->second, pit->second, rc.time,
+                               rc.location});
+  }
+
+  std::ifstream edge_file(edges_path);
+  if (!edge_file)
+    throw std::runtime_error("load_checkins_snap: cannot open " + edges_path);
+  graph::Graph g(user_map.size());
+  while (std::getline(edge_file, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::split_whitespace(trimmed);
+    if (fields.size() < 2)
+      throw std::runtime_error("load_checkins_snap: short edge line '" +
+                               line + "'");
+    const auto a = user_map.find(util::parse_int(fields[0]));
+    const auto b = user_map.find(util::parse_int(fields[1]));
+    if (a == user_map.end() || b == user_map.end()) continue;
+    if (a->second != b->second) g.add_edge(a->second, b->second);
+  }
+
+  return Dataset::build(user_map.size(), std::move(pois), std::move(checkins),
+                        std::move(g));
+}
+
+void save_checkins_snap(const Dataset& ds, const std::string& checkins_path,
+                        const std::string& edges_path) {
+  std::ofstream checkin_file(checkins_path);
+  if (!checkin_file)
+    throw std::runtime_error("save_checkins_snap: cannot open " +
+                             checkins_path);
+  for (const CheckIn& c : ds.checkins()) {
+    // Times are written as raw epoch offsets in a fixed fake date range to
+    // stay parseable; 2010-01-01 == epoch day 14610.
+    const geo::Timestamp t = c.time;
+    const long long day = 14610 + t / geo::kSecondsPerDay;
+    const geo::Timestamp rem = t % geo::kSecondsPerDay;
+    // Convert day count back to a civil date (inverse of days_from_civil).
+    long long z = day + 719468;
+    const long long era = (z >= 0 ? z : z - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(z - era * 146097);
+    const unsigned yoe =
+        (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const long long y = static_cast<long long>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+    const unsigned m = mp + (mp < 10 ? 3 : -9);
+    checkin_file << c.user << '\t'
+                 << util::format(
+                        "%04lld-%02u-%02uT%02lld:%02lld:%02lldZ",
+                        y + (m <= 2), m, d,
+                        static_cast<long long>(rem / 3600),
+                        static_cast<long long>((rem % 3600) / 60),
+                        static_cast<long long>(rem % 60))
+                 << '\t' << c.location.lat << '\t' << c.location.lng << '\t'
+                 << c.poi << '\n';
+  }
+  std::ofstream edge_file(edges_path);
+  if (!edge_file)
+    throw std::runtime_error("save_checkins_snap: cannot open " + edges_path);
+  for (const graph::Edge& e : ds.friendships().edges())
+    edge_file << e.a << '\t' << e.b << '\n';
+}
+
+}  // namespace fs::data

@@ -1,0 +1,38 @@
+// Loaders for the SNAP check-in formats used by Gowalla and Brightkite, so
+// the real traces drop into this pipeline unchanged when available:
+//
+//   checkins: <user-ID> \t <ISO-8601 time> \t <lat> \t <lng> \t <location-ID>
+//   edges:    <user-ID> \t <user-ID>
+//
+// User and location ids are re-densified; users with fewer than
+// `min_checkins` records are dropped (the paper excludes users who never
+// check in or check in only once).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fs::data {
+
+struct LoadOptions {
+  int min_checkins = 2;
+  /// Cap on users (0 = unlimited) for subsampled experiments.
+  std::size_t max_users = 0;
+};
+
+/// Parses "2010-10-19T23:55:27Z" into epoch seconds (UTC, proleptic
+/// Gregorian). Throws on malformed input.
+geo::Timestamp parse_iso8601_utc(const std::string& text);
+
+/// Loads a SNAP-format dataset from a check-ins file and an edges file.
+Dataset load_checkins_snap(const std::string& checkins_path,
+                           const std::string& edges_path,
+                           const LoadOptions& options = {});
+
+/// Serializes a dataset back out in SNAP format (round-trip testing, and
+/// handing synthetic worlds to external tools).
+void save_checkins_snap(const Dataset& ds, const std::string& checkins_path,
+                        const std::string& edges_path);
+
+}  // namespace fs::data

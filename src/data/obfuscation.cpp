@@ -1,0 +1,108 @@
+#include "data/obfuscation.h"
+
+#include <stdexcept>
+
+namespace fs::data {
+
+namespace {
+
+void check_ratio(double ratio) {
+  if (ratio < 0.0 || ratio > 1.0)
+    throw std::invalid_argument("obfuscation: ratio must be in [0, 1]");
+}
+
+/// Replaces checkin.poi (and location) with `replacement`.
+void relocate(CheckIn& c, PoiId replacement, const Dataset& ds) {
+  c.poi = replacement;
+  c.location = ds.poi(replacement).location;
+}
+
+}  // namespace
+
+Dataset hide_checkins(const Dataset& ds, double ratio, util::Rng& rng) {
+  check_ratio(ratio);
+  std::vector<std::size_t> remaining(ds.user_count());
+  for (UserId u = 0; u < ds.user_count(); ++u)
+    remaining[u] = ds.checkin_count(u);
+
+  // Visit check-ins in random order so "protect the last one" does not
+  // systematically favor early records.
+  const auto& all = ds.checkins();
+  std::vector<std::size_t> order(all.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  const auto target_removals =
+      static_cast<std::size_t>(ratio * static_cast<double>(all.size()));
+  std::vector<char> removed(all.size(), 0);
+  std::size_t removals = 0;
+  for (std::size_t idx : order) {
+    if (removals >= target_removals) break;
+    const UserId owner = all[idx].user;
+    if (remaining[owner] <= 1) continue;  // never strip a user bare
+    removed[idx] = 1;
+    --remaining[owner];
+    ++removals;
+  }
+
+  std::vector<CheckIn> kept;
+  kept.reserve(all.size() - removals);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (!removed[i]) kept.push_back(all[i]);
+  return ds.with_checkins(std::move(kept));
+}
+
+Dataset blur_in_grid(const Dataset& ds, double ratio,
+                     const geo::QuadtreeDivision& division, util::Rng& rng) {
+  check_ratio(ratio);
+  std::vector<CheckIn> out(ds.checkins());
+  for (CheckIn& c : out) {
+    if (!rng.chance(ratio)) continue;
+    const std::size_t cell = division.cell_of_poi(c.poi);
+    const auto& candidates = division.cell_pois(cell);
+    if (candidates.size() < 2) continue;  // nothing else in this grid
+    PoiId replacement;
+    do {
+      replacement = candidates[rng.index(candidates.size())];
+    } while (replacement == c.poi);
+    relocate(c, replacement, ds);
+  }
+  return ds.with_checkins(std::move(out));
+}
+
+Dataset blur_cross_grid(const Dataset& ds, double ratio,
+                        const geo::QuadtreeDivision& division,
+                        util::Rng& rng) {
+  check_ratio(ratio);
+  std::vector<CheckIn> out(ds.checkins());
+  for (CheckIn& c : out) {
+    if (!rng.chance(ratio)) continue;
+    const std::size_t cell = division.cell_of_poi(c.poi);
+    const std::vector<std::size_t> neighbors = division.neighbor_cells(cell);
+    PoiId replacement = c.poi;
+    if (!neighbors.empty()) {
+      // Random neighbor grid, then a random POI inside it; retry a few
+      // neighbors since some cells are empty.
+      std::vector<std::size_t> shuffled = neighbors;
+      rng.shuffle(shuffled);
+      for (std::size_t n : shuffled) {
+        const auto& candidates = division.cell_pois(n);
+        if (candidates.empty()) continue;
+        replacement = candidates[rng.index(candidates.size())];
+        break;
+      }
+    }
+    if (replacement == c.poi) {
+      // Fall back to in-grid replacement.
+      const auto& candidates = division.cell_pois(cell);
+      if (candidates.size() < 2) continue;
+      do {
+        replacement = candidates[rng.index(candidates.size())];
+      } while (replacement == c.poi);
+    }
+    relocate(c, replacement, ds);
+  }
+  return ds.with_checkins(std::move(out));
+}
+
+}  // namespace fs::data

@@ -1,0 +1,28 @@
+// Countermeasure mechanisms from Section IV-D: hiding, in-grid blurring,
+// cross-grid blurring. Each returns a perturbed copy of the dataset.
+#pragma once
+
+#include "data/dataset.h"
+#include "geo/quadtree.h"
+#include "util/rng.h"
+
+namespace fs::data {
+
+/// Randomly removes `ratio` of all check-ins, but never a user's last
+/// remaining check-in (the paper's exact rule, preserving data utility).
+Dataset hide_checkins(const Dataset& ds, double ratio, util::Rng& rng);
+
+/// Replaces the POI of `ratio` of check-ins with another POI in the SAME
+/// quadtree grid cell (in-grid blurring). A check-in whose cell holds no
+/// other POI is left unchanged.
+Dataset blur_in_grid(const Dataset& ds, double ratio,
+                     const geo::QuadtreeDivision& division, util::Rng& rng);
+
+/// Replaces the POI of `ratio` of check-ins with a POI from a randomly
+/// chosen NEIGHBORING grid cell (cross-grid blurring). Falls back to
+/// in-grid replacement when no neighbor cell holds a POI.
+Dataset blur_cross_grid(const Dataset& ds, double ratio,
+                        const geo::QuadtreeDivision& division,
+                        util::Rng& rng);
+
+}  // namespace fs::data

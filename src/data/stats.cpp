@@ -1,0 +1,80 @@
+#include "data/stats.h"
+
+#include <algorithm>
+
+namespace fs::data {
+
+DatasetStats dataset_stats(const Dataset& ds) {
+  DatasetStats s;
+  s.pois = ds.poi_count();
+  s.users = ds.user_count();
+  s.checkins = ds.checkin_count();
+  s.links = ds.friendships().edge_count();
+  s.mean_checkins_per_user =
+      s.users == 0 ? 0.0
+                   : static_cast<double>(s.checkins) /
+                         static_cast<double>(s.users);
+  return s;
+}
+
+CoPresenceCensus co_presence_census(const Dataset& ds,
+                                    const std::vector<UserPair>& friends,
+                                    const std::vector<UserPair>& non_friends) {
+  CoPresenceCensus census;
+  const graph::Graph& g = ds.friendships();
+
+  auto tally = [&](const std::vector<UserPair>& pairs, double (&cells)[2][2]) {
+    if (pairs.empty()) return;
+    std::size_t counts[2][2] = {{0, 0}, {0, 0}};
+    for (const auto& [a, b] : pairs) {
+      const int cl = ds.common_poi_count(a, b) > 0 ? 1 : 0;
+      const int cf = g.common_neighbor_count(a, b) > 0 ? 1 : 0;
+      ++counts[cl][cf];
+    }
+    for (int cl = 0; cl < 2; ++cl)
+      for (int cf = 0; cf < 2; ++cf)
+        cells[cl][cf] = static_cast<double>(counts[cl][cf]) /
+                        static_cast<double>(pairs.size());
+  };
+
+  tally(friends, census.friends);
+  tally(non_friends, census.non_friends);
+  census.friend_pairs = friends.size();
+  census.non_friend_pairs = non_friends.size();
+  return census;
+}
+
+CountCdf::CountCdf(const std::vector<std::size_t>& values) {
+  total_ = values.size();
+  std::size_t max_value = 0;
+  for (std::size_t v : values) max_value = std::max(max_value, v);
+  histogram_.assign(max_value + 1, 0);
+  for (std::size_t v : values) ++histogram_[v];
+}
+
+double CountCdf::at(std::size_t x) const {
+  if (total_ == 0) return 0.0;
+  std::size_t cum = 0;
+  const std::size_t upto = std::min(x, histogram_.size() - 1);
+  for (std::size_t v = 0; v <= upto; ++v) cum += histogram_[v];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+std::vector<std::size_t> common_poi_counts(
+    const Dataset& ds, const std::vector<UserPair>& pairs) {
+  std::vector<std::size_t> out;
+  out.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) out.push_back(ds.common_poi_count(a, b));
+  return out;
+}
+
+std::vector<std::size_t> common_friend_counts(
+    const graph::Graph& g, const std::vector<UserPair>& pairs) {
+  std::vector<std::size_t> out;
+  out.reserve(pairs.size());
+  for (const auto& [a, b] : pairs)
+    out.push_back(g.common_neighbor_count(a, b));
+  return out;
+}
+
+}  // namespace fs::data

@@ -1,0 +1,60 @@
+// Dataset statistics backing Table I, Table II, and Fig 1.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fs::data {
+
+/// Table I row.
+struct DatasetStats {
+  std::size_t pois = 0;
+  std::size_t users = 0;
+  std::size_t checkins = 0;
+  std::size_t links = 0;
+  double mean_checkins_per_user = 0.0;
+};
+
+DatasetStats dataset_stats(const Dataset& ds);
+
+/// Table II: the joint distribution of "has co-location" x "has co-friend",
+/// normalized within friends and within non-friends separately.
+struct CoPresenceCensus {
+  /// Indexed [has_colocation][has_cofriend]; each 2x2 sums to 1.
+  double friends[2][2] = {{0, 0}, {0, 0}};
+  double non_friends[2][2] = {{0, 0}, {0, 0}};
+  std::size_t friend_pairs = 0;
+  std::size_t non_friend_pairs = 0;
+};
+
+CoPresenceCensus co_presence_census(const Dataset& ds,
+                                    const std::vector<UserPair>& friends,
+                                    const std::vector<UserPair>& non_friends);
+
+/// Empirical CDF over small non-negative counts (Fig 1, Fig 5).
+class CountCdf {
+ public:
+  explicit CountCdf(const std::vector<std::size_t>& values);
+
+  /// P(value <= x).
+  double at(std::size_t x) const;
+
+  std::size_t sample_count() const { return total_; }
+  std::size_t max_value() const {
+    return histogram_.empty() ? 0 : histogram_.size() - 1;
+  }
+
+ private:
+  std::vector<std::size_t> histogram_;  // histogram_[v] = #samples equal to v
+  std::size_t total_ = 0;
+};
+
+/// Per-pair count vectors feeding the CDFs.
+std::vector<std::size_t> common_poi_counts(const Dataset& ds,
+                                           const std::vector<UserPair>& pairs);
+std::vector<std::size_t> common_friend_counts(
+    const graph::Graph& g, const std::vector<UserPair>& pairs);
+
+}  // namespace fs::data

@@ -1,0 +1,335 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fs::data {
+
+SyntheticWorldConfig gowalla_like() {
+  SyntheticWorldConfig c;
+  c.name = "gowalla-like";
+  c.user_count = 500;
+  c.poi_count = 1500;
+  c.mean_real_degree = 4.0;
+  c.city_count = 7;
+  c.city_sigma_deg = 0.16;        // more dispersed POIs (paper Sec IV-B)
+  c.countryside_fraction = 0.14;
+  c.checkin_alpha = 1.62;         // sparser check-ins (53 per user avg)
+  c.max_checkins_per_user = 150;
+  c.covisit_friend_prob = 0.50;   // co-visit evidence is the exception
+  c.covisit_events_mean = 1.6;
+  c.cyber_edge_fraction = 0.42;
+  c.seed = 1001;
+  return c;
+}
+
+SyntheticWorldConfig brightkite_like() {
+  SyntheticWorldConfig c;
+  c.name = "brightkite-like";
+  c.user_count = 520;
+  c.poi_count = 1300;
+  c.mean_real_degree = 4.2;
+  c.city_count = 5;
+  c.city_sigma_deg = 0.10;        // tighter geography
+  c.countryside_fraction = 0.08;
+  c.checkin_alpha = 1.45;         // denser check-ins (91 per user avg)
+  c.max_checkins_per_user = 220;
+  c.covisit_friend_prob = 0.62;   // denser than gowalla, still sparse
+  c.covisit_events_mean = 2.0;
+  c.cyber_edge_fraction = 0.38;
+  c.seed = 2002;
+  return c;
+}
+
+bool SyntheticWorld::is_cyber_edge(UserId a, UserId b) const {
+  const graph::Edge e(a, b);
+  return std::find(cyber_edges.begin(), cyber_edges.end(), e) !=
+         cyber_edges.end();
+}
+
+namespace {
+
+double home_distance_km(const geo::LatLng& a, const geo::LatLng& b) {
+  return geo::equirectangular_m(a, b) / 1000.0;
+}
+
+}  // namespace
+
+SyntheticWorld generate_world(const SyntheticWorldConfig& cfg) {
+  if (cfg.user_count < 10)
+    throw std::invalid_argument("generate_world: need >= 10 users");
+  if (cfg.city_count < 1 || cfg.poi_count < cfg.city_count)
+    throw std::invalid_argument("generate_world: bad city/poi counts");
+
+  util::Rng rng(cfg.seed);
+  SyntheticWorld world;
+
+  // ---- City centers and sizes (uneven: bigger cities attract more). ----
+  std::vector<geo::LatLng> city_center(cfg.city_count);
+  std::vector<double> city_weight(cfg.city_count);
+  for (std::size_t c = 0; c < cfg.city_count; ++c) {
+    city_center[c] = {rng.uniform(0.0, cfg.region_span_deg),
+                      rng.uniform(0.0, cfg.region_span_deg)};
+    city_weight[c] = 0.4 + rng.uniform();  // in [0.4, 1.4)
+  }
+
+  // ---- POIs: clustered around cities plus uniform countryside. ----
+  std::vector<Poi> pois(cfg.poi_count);
+  for (std::size_t i = 0; i < cfg.poi_count; ++i) {
+    Poi& p = pois[i];
+    if (rng.chance(cfg.countryside_fraction)) {
+      p.location = {rng.uniform(0.0, cfg.region_span_deg),
+                    rng.uniform(0.0, cfg.region_span_deg)};
+    } else {
+      const std::size_t c = rng.weighted_index(city_weight);
+      p.location = {
+          rng.normal(city_center[c].lat, cfg.city_sigma_deg),
+          rng.normal(city_center[c].lng, cfg.city_sigma_deg)};
+      p.location.lat = std::clamp(p.location.lat, 0.0, cfg.region_span_deg);
+      p.location.lng = std::clamp(p.location.lng, 0.0, cfg.region_span_deg);
+    }
+    p.category = static_cast<std::uint16_t>(rng.index(cfg.category_count));
+  }
+
+  // Index POIs by nearest city (for personal pools).
+  std::vector<std::vector<PoiId>> city_pois(cfg.city_count);
+  for (std::size_t i = 0; i < cfg.poi_count; ++i) {
+    std::size_t best = 0;
+    double best_d = 1e18;
+    for (std::size_t c = 0; c < cfg.city_count; ++c) {
+      const double d = home_distance_km(pois[i].location, city_center[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    city_pois[best].push_back(static_cast<PoiId>(i));
+  }
+  for (auto& list : city_pois)
+    if (list.empty()) list.push_back(0);  // degenerate guard
+
+  // Hub venues: the first few POIs of each city, visited by everyone who
+  // lives there.
+  std::vector<std::vector<PoiId>> city_hubs(cfg.city_count);
+  for (std::size_t c = 0; c < cfg.city_count; ++c) {
+    const std::size_t hubs =
+        std::min(cfg.hubs_per_city, city_pois[c].size());
+    city_hubs[c].assign(city_pois[c].begin(),
+                        city_pois[c].begin() + static_cast<long>(hubs));
+  }
+
+  // ---- Users: home city + home location. ----
+  world.home_city.resize(cfg.user_count);
+  world.home_location.resize(cfg.user_count);
+  std::vector<std::vector<UserId>> city_users(cfg.city_count);
+  for (UserId u = 0; u < cfg.user_count; ++u) {
+    const std::size_t c = rng.weighted_index(city_weight);
+    world.home_city[u] = static_cast<std::uint32_t>(c);
+    world.home_location[u] = {
+        rng.normal(city_center[c].lat, cfg.city_sigma_deg * 0.8),
+        rng.normal(city_center[c].lng, cfg.city_sigma_deg * 0.8)};
+    city_users[c].push_back(u);
+  }
+
+  // ---- Real-world friendships: same-city, distance-attached. ----
+  graph::Graph g(cfg.user_count);
+  std::set<graph::Edge> real_set;
+  const std::size_t target_real_edges = static_cast<std::size_t>(
+      cfg.mean_real_degree * static_cast<double>(cfg.user_count) / 2.0);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_real_edges * 60;
+  while (real_set.size() < target_real_edges && attempts++ < max_attempts) {
+    const std::size_t c = rng.weighted_index(city_weight);
+    const auto& residents = city_users[c];
+    if (residents.size() < 2) continue;
+    const UserId a = residents[rng.index(residents.size())];
+    const UserId b = residents[rng.index(residents.size())];
+    if (a == b) continue;
+    const double d_km =
+        home_distance_km(world.home_location[a], world.home_location[b]);
+    if (!rng.chance(std::exp(-d_km / cfg.home_attachment_km))) continue;
+    if (g.add_edge(a, b)) real_set.insert(graph::Edge(a, b));
+  }
+  // Triadic closure inside the real graph (raises clustering like real MSNs).
+  {
+    std::vector<graph::Edge> snapshot(real_set.begin(), real_set.end());
+    for (const graph::Edge& e : snapshot) {
+      for (UserId z : g.neighbors(e.a)) {
+        if (z == e.b || g.has_edge(z, e.b)) continue;
+        if (world.home_city[z] != world.home_city[e.b]) continue;
+        if (rng.chance(cfg.triadic_closure_prob)) {
+          if (g.add_edge(z, e.b)) real_set.insert(graph::Edge(z, e.b));
+        }
+      }
+    }
+  }
+
+  // ---- Cyber friendships: friend-of-friend biased, mobility-blind. ----
+  // Cyber friends are strangers in the real world but embedded in common
+  // social circles — the generator gives each cyber pair MULTIPLE shared
+  // neighbors (like-minded communities), which is exactly the structure
+  // phase 2 exploits and which random or single-pivot non-friend pairs
+  // lack.
+  std::set<graph::Edge> cyber_set;
+  const std::size_t target_cyber_edges = static_cast<std::size_t>(
+      cfg.cyber_edge_fraction / (1.0 - cfg.cyber_edge_fraction) *
+      static_cast<double>(real_set.size()));
+  attempts = 0;
+  while (cyber_set.size() < target_cyber_edges &&
+         attempts++ < target_cyber_edges * 200) {
+    UserId a = 0, b = 0;
+    if (rng.chance(cfg.cyber_fof_bias)) {
+      // Close a 2-hop path: pick a pivot with >= 2 neighbors.
+      const auto pivot = static_cast<UserId>(rng.index(cfg.user_count));
+      const auto& nbrs = g.neighbors(pivot);
+      if (nbrs.size() < 2) continue;
+      a = nbrs[rng.index(nbrs.size())];
+      b = nbrs[rng.index(nbrs.size())];
+    } else {
+      a = static_cast<UserId>(rng.index(cfg.user_count));
+      b = static_cast<UserId>(rng.index(cfg.user_count));
+    }
+    if (a == b || g.has_edge(a, b)) continue;
+    // Cyber friends are "usually strangers in the real world" (paper
+    // Sec I): prefer pairs living in different cities, whose mobility
+    // overlap is negligible.
+    if (world.home_city[a] == world.home_city[b] && rng.chance(0.8))
+      continue;
+    if (g.add_edge(a, b)) {
+      cyber_set.insert(graph::Edge(a, b));
+      // Weave the pair into a shared circle: connect b to a few more of
+      // a's friends (and vice versa), so genuine cyber friends end up with
+      // several common neighbors.
+      for (int extra = 0; extra < cfg.cyber_circle_edges; ++extra) {
+        const UserId host = rng.chance(0.5) ? a : b;
+        const UserId guest = host == a ? b : a;
+        const auto& host_nbrs = g.neighbors(host);
+        if (host_nbrs.empty()) continue;
+        const UserId c = host_nbrs[rng.index(host_nbrs.size())];
+        if (c == guest || g.has_edge(c, guest)) continue;
+        if (g.add_edge(c, guest)) cyber_set.insert(graph::Edge(c, guest));
+      }
+    }
+  }
+
+  world.real_edges.assign(real_set.begin(), real_set.end());
+  world.cyber_edges.assign(cyber_set.begin(), cyber_set.end());
+
+  // ---- Personal POI pools. ----
+  std::vector<std::vector<PoiId>> pool(cfg.user_count);
+  std::vector<std::vector<double>> pool_weight(cfg.user_count);
+  for (UserId u = 0; u < cfg.user_count; ++u) {
+    const std::size_t home = world.home_city[u];
+    const auto& local = city_pois[home];
+    std::set<PoiId> chosen;
+    // Home-city POIs, nearer ones preferred (rejection on distance).
+    std::size_t local_target = static_cast<std::size_t>(
+        static_cast<double>(cfg.pois_per_user) *
+        (1.0 - cfg.travel_poi_fraction));
+    local_target = std::max<std::size_t>(1, local_target);
+    std::size_t guard = 0;
+    while (chosen.size() < std::min(local_target, local.size()) &&
+           guard++ < local_target * 50) {
+      const PoiId cand = local[rng.index(local.size())];
+      const double d_km =
+          home_distance_km(pois[cand].location, world.home_location[u]);
+      if (rng.chance(std::exp(-d_km / (cfg.home_attachment_km * 1.5))))
+        chosen.insert(cand);
+    }
+    // Travel POIs anywhere.
+    const std::size_t travel_target = cfg.pois_per_user - chosen.size();
+    for (std::size_t t = 0; t < travel_target; ++t)
+      chosen.insert(static_cast<PoiId>(rng.index(cfg.poi_count)));
+    // Every resident frequents the home-city hubs.
+    for (PoiId hub : city_hubs[home]) chosen.insert(hub);
+    pool[u].assign(chosen.begin(), chosen.end());
+    rng.shuffle(pool[u]);  // decouple weight rank from POI id
+    // Zipf-ish visit weights: a user's favorite place dominates; hubs get
+    // a flat boost on top of their rank weight.
+    pool_weight[u].resize(pool[u].size());
+    for (std::size_t i = 0; i < pool[u].size(); ++i) {
+      double w = 1.0 / static_cast<double>(i + 1);
+      const PoiId p = pool[u][i];
+      if (std::find(city_hubs[home].begin(), city_hubs[home].end(), p) !=
+          city_hubs[home].end())
+        w *= cfg.hub_visit_weight * static_cast<double>(i + 1) /
+             3.0;  // flatten rank, boost level
+      pool_weight[u][i] = w;
+    }
+  }
+
+  // ---- Weekly activity profiles. ----
+  // Each user prefers 2 or 3 days of the week; hours follow an evening-heavy
+  // global profile. This injects the weekly periodicity behind Fig 8.
+  std::vector<std::array<double, 7>> day_weight(cfg.user_count);
+  for (UserId u = 0; u < cfg.user_count; ++u) {
+    for (double& w : day_weight[u]) w = 1.0;
+    const std::size_t preferred = 2 + rng.index(2);
+    for (std::size_t i = 0; i < preferred; ++i)
+      day_weight[u][rng.index(7)] *= cfg.weekend_bias;
+  }
+  const double hour_weight[24] = {0.2, 0.1, 0.1, 0.1, 0.1, 0.2, 0.4, 0.7,
+                                  1.0, 1.0, 1.0, 1.2, 1.4, 1.2, 1.0, 1.0,
+                                  1.2, 1.6, 2.0, 2.2, 2.0, 1.5, 0.9, 0.4};
+  const std::vector<double> hour_w(hour_weight, hour_weight + 24);
+
+  const geo::Timestamp window_end =
+      static_cast<geo::Timestamp>(cfg.weeks) * 7 * geo::kSecondsPerDay;
+
+  auto sample_time = [&](UserId u) {
+    const auto week = static_cast<geo::Timestamp>(rng.index(
+        static_cast<std::size_t>(cfg.weeks)));
+    const std::vector<double> dw(day_weight[u].begin(), day_weight[u].end());
+    const auto day = static_cast<geo::Timestamp>(rng.weighted_index(dw));
+    const auto hour = static_cast<geo::Timestamp>(rng.weighted_index(hour_w));
+    const auto minute = static_cast<geo::Timestamp>(rng.index(3600));
+    return week * 7 * geo::kSecondsPerDay + day * geo::kSecondsPerDay +
+           hour * 3600 + minute;
+  };
+
+  std::vector<CheckIn> checkins;
+  auto emit = [&](UserId u, PoiId p, geo::Timestamp t) {
+    t = std::clamp<geo::Timestamp>(t, 0, window_end - 1);
+    checkins.push_back(CheckIn{u, p, t, pois[p].location});
+  };
+
+  // ---- Solo check-ins (heavy-tailed counts). ----
+  for (UserId u = 0; u < cfg.user_count; ++u) {
+    int count = rng.power_law_int(cfg.checkin_alpha, cfg.max_checkins_per_user);
+    count = std::max(count, cfg.min_checkins_per_user);
+    for (int i = 0; i < count; ++i) {
+      const std::size_t slot = rng.weighted_index(pool_weight[u]);
+      emit(u, pool[u][slot], sample_time(u));
+    }
+  }
+
+  // ---- Joint events for real-world friendships. ----
+  for (const graph::Edge& e : world.real_edges) {
+    if (!rng.chance(cfg.covisit_friend_prob)) continue;
+    const int events = 1 + rng.poisson(std::max(0.0, cfg.covisit_events_mean - 1.0));
+    for (int ev = 0; ev < events; ++ev) {
+      // Meet at a POI from either friend's pool (same city most often).
+      const UserId host = rng.chance(0.5) ? e.a : e.b;
+      const auto& host_pool = pool[host];
+      const PoiId venue = host_pool[rng.index(host_pool.size())];
+      const geo::Timestamp t = sample_time(host);
+      emit(e.a, venue, t + static_cast<geo::Timestamp>(
+                               rng.range(-cfg.covisit_time_jitter,
+                                         cfg.covisit_time_jitter)));
+      emit(e.b, venue, t + static_cast<geo::Timestamp>(
+                               rng.range(-cfg.covisit_time_jitter,
+                                         cfg.covisit_time_jitter)));
+    }
+  }
+
+  world.dataset = Dataset::build(cfg.user_count, std::move(pois),
+                                 std::move(checkins), std::move(g));
+  return world;
+}
+
+}  // namespace fs::data

@@ -1,0 +1,99 @@
+// Synthetic mobile-social-network world generator.
+//
+// The paper evaluates on Gowalla and Brightkite SNAP traces; those are not
+// available offline, so this generator builds the closest synthetic
+// equivalent (see DESIGN.md, substitution table). It reproduces the
+// statistical structure the attack exploits:
+//
+//  * clustered POI geography (cities + countryside) so the quadtree
+//    division is meaningfully adaptive;
+//  * a small-world ground-truth social graph with two friendship types:
+//    REAL-WORLD friends (same-city bias, co-visitation events -> shared
+//    POIs, Table II's co-location skew) and CYBER friends (created by
+//    triadic preference -> common friends but no shared mobility);
+//  * heavy-tailed per-user check-in counts (sparsity, Fig 13's x-axis);
+//  * weekly periodicity in check-in times (the reason tau = 7 days peaks
+//    in Fig 8);
+//  * nearby strangers drawing from the same city POI pool (the
+//    false-positive hazard for purely spatial methods).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fs::data {
+
+struct SyntheticWorldConfig {
+  std::string name = "synthetic";
+
+  // --- Geography ---
+  std::size_t user_count = 600;
+  std::size_t poi_count = 1600;
+  std::size_t city_count = 6;
+  std::uint16_t category_count = 10;
+  double region_span_deg = 8.0;     // square region side, degrees
+  double city_sigma_deg = 0.12;     // POI scatter around a city center
+  double countryside_fraction = 0.10;  // POIs scattered uniformly
+
+  // --- Observation window ---
+  int weeks = 12;
+
+  // --- Social graph ---
+  double mean_real_degree = 5.0;     // average real-world friends per user
+  double home_attachment_km = 11.0;  // distance scale for real friendships
+  double cyber_edge_fraction = 0.30; // cyber edges / all edges
+  double cyber_fof_bias = 0.70;      // P(cyber edge closes a 2-hop path)
+  /// Extra circle-closing edges added around each cyber pair, giving true
+  /// cyber friends several common neighbors (non-friend FoF pairs keep
+  /// one at most).
+  int cyber_circle_edges = 1;
+  double triadic_closure_prob = 0.16;
+
+  // --- Mobility ---
+  double checkin_alpha = 1.55;       // power-law exponent of per-user counts
+  int max_checkins_per_user = 180;
+  int min_checkins_per_user = 2;
+  std::size_t pois_per_user = 24;    // personal POI pool size
+  double travel_poi_fraction = 0.12; // pool entries outside the home city
+  double weekend_bias = 2.2;         // weight multiplier for preferred days
+  /// Hub venues per city (malls, stations, bars) shared by EVERY resident's
+  /// pool. Hubs create co-locations between same-city strangers — the
+  /// "nearby strangers" false-positive hazard that defeats naive
+  /// co-location evidence but not learned cell significance.
+  std::size_t hubs_per_city = 4;
+  double hub_visit_weight = 4.0;     // visit-weight boost for hub POIs
+
+  // --- Friend co-visitation ---
+  double covisit_friend_prob = 0.72; // P(real friendship has joint events)
+  double covisit_events_mean = 2.6;  // mean #joint events when present
+  geo::Timestamp covisit_time_jitter = 3 * 3600;  // +-3 h
+
+  std::uint64_t seed = 42;
+};
+
+/// Preset mimicking Gowalla's published statistics at laptop scale:
+/// sparser check-ins, more dispersed POIs, lower co-location rate.
+SyntheticWorldConfig gowalla_like();
+
+/// Preset mimicking Brightkite: denser check-ins, tighter geography,
+/// higher co-location rate among friends.
+SyntheticWorldConfig brightkite_like();
+
+/// Generated world: the dataset plus ground-truth annotations that the
+/// evaluation uses for stratified analyses (real vs cyber friends).
+struct SyntheticWorld {
+  Dataset dataset;
+  std::vector<graph::Edge> real_edges;   // real-world friendships
+  std::vector<graph::Edge> cyber_edges;  // cyber friendships
+  std::vector<std::uint32_t> home_city;  // per user
+  std::vector<geo::LatLng> home_location;
+
+  bool is_cyber_edge(UserId a, UserId b) const;
+};
+
+SyntheticWorld generate_world(const SyntheticWorldConfig& config);
+
+}  // namespace fs::data

@@ -1,0 +1,119 @@
+#include "embed/skipgram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fs::embed {
+
+nn::Matrix train_skipgram(const std::vector<std::vector<VocabId>>& corpus,
+                          std::size_t vocab_size,
+                          const SkipGramConfig& config) {
+  if (vocab_size == 0)
+    throw std::invalid_argument("train_skipgram: empty vocabulary");
+  util::Rng rng(config.seed);
+
+  // Unigram table with the standard 0.75 smoothing for negative sampling.
+  std::vector<double> counts(vocab_size, 0.0);
+  for (const auto& walk : corpus)
+    for (VocabId v : walk) {
+      if (v >= vocab_size)
+        throw std::out_of_range("train_skipgram: token out of vocabulary");
+      counts[v] += 1.0;
+    }
+  std::vector<double> noise(vocab_size);
+  for (std::size_t v = 0; v < vocab_size; ++v)
+    noise[v] = std::pow(counts[v], 0.75);
+  // Alias-free sampling via cumulative table lookup would be O(log n); the
+  // weighted_index linear scan is too slow for hot negative sampling, so
+  // build a fixed-size sampling table (word2vec's approach).
+  std::vector<VocabId> noise_table;
+  {
+    const std::size_t table_size = std::max<std::size_t>(1 << 16, vocab_size);
+    noise_table.reserve(table_size);
+    double total = 0.0;
+    for (double w : noise) total += w;
+    if (total <= 0.0) total = 1.0;
+    double cum = 0.0;
+    std::size_t filled = 0;
+    for (std::size_t v = 0; v < vocab_size; ++v) {
+      cum += noise[v];
+      const auto want = static_cast<std::size_t>(
+          cum / total * static_cast<double>(table_size));
+      for (; filled < want && filled < table_size; ++filled)
+        noise_table.push_back(static_cast<VocabId>(v));
+    }
+    while (noise_table.size() < table_size)
+      noise_table.push_back(static_cast<VocabId>(vocab_size - 1));
+  }
+
+  // Input and output vector tables.
+  const std::size_t dim = config.dim;
+  nn::Matrix in(vocab_size, dim);
+  nn::Matrix out(vocab_size, dim);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in.data()[i] = (rng.uniform() - 0.5) / static_cast<double>(dim);
+  // out starts at zero (word2vec convention).
+
+  std::vector<double> grad_center(dim);
+  auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr = config.learning_rate *
+                      (1.0 - static_cast<double>(epoch) /
+                                 static_cast<double>(config.epochs));
+    for (const auto& walk : corpus) {
+      for (std::size_t pos = 0; pos < walk.size(); ++pos) {
+        const VocabId center = walk[pos];
+        const std::size_t lo =
+            pos >= config.window ? pos - config.window : 0;
+        const std::size_t hi =
+            std::min(walk.size() - 1, pos + config.window);
+        for (std::size_t cpos = lo; cpos <= hi; ++cpos) {
+          if (cpos == pos) continue;
+          const VocabId context = walk[cpos];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          double* vc = in.row(center);
+          // One positive plus `negatives` noise samples.
+          for (std::size_t s = 0; s <= config.negatives; ++s) {
+            VocabId target;
+            double label;
+            if (s == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = noise_table[rng.index(noise_table.size())];
+              if (target == context) continue;
+              label = 0.0;
+            }
+            double* vo = out.row(target);
+            double dot = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) dot += vc[d] * vo[d];
+            const double g = (sigmoid(dot) - label) * lr;
+            for (std::size_t d = 0; d < dim; ++d) {
+              grad_center[d] += g * vo[d];
+              vo[d] -= g * vc[d];
+            }
+          }
+          for (std::size_t d = 0; d < dim; ++d) vc[d] -= grad_center[d];
+        }
+      }
+    }
+  }
+  return in;
+}
+
+double cosine_similarity(const nn::Matrix& embeddings, VocabId a, VocabId b) {
+  const std::size_t dim = embeddings.cols();
+  const double* va = embeddings.row(a);
+  const double* vb = embeddings.row(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    dot += va[d] * vb[d];
+    na += va[d] * va[d];
+    nb += vb[d] * vb[d];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace fs::embed

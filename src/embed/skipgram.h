@@ -1,0 +1,35 @@
+// Skip-gram with negative sampling (word2vec-style) over walk corpora.
+//
+// Both embedding baselines learn node vectors whose cosine similarity
+// approximates co-occurrence in random walks; friendship is then scored by
+// vector similarity, exactly the mechanism of walk2friends (Backes et al.,
+// CCS'17) and the mobility-relationship embedding of Yu et al.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/walks.h"
+#include "nn/matrix.h"
+
+namespace fs::embed {
+
+struct SkipGramConfig {
+  std::size_t dim = 32;
+  std::size_t window = 3;
+  std::size_t negatives = 5;
+  int epochs = 4;
+  double learning_rate = 0.025;
+  std::uint64_t seed = 17;
+};
+
+/// Trains SGNS over the corpus. Returns a (vocab_size x dim) embedding
+/// matrix (the "input" vectors, as is standard).
+nn::Matrix train_skipgram(const std::vector<std::vector<VocabId>>& corpus,
+                          std::size_t vocab_size,
+                          const SkipGramConfig& config);
+
+/// Cosine similarity of two embedding rows; 0 when either is all-zero.
+double cosine_similarity(const nn::Matrix& embeddings, VocabId a, VocabId b);
+
+}  // namespace fs::embed

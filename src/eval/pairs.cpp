@@ -1,0 +1,90 @@
+#include "eval/pairs.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "ml/split.h"
+#include "util/rng.h"
+
+namespace fs::eval {
+
+std::size_t LabeledPairs::positives() const {
+  return static_cast<std::size_t>(
+      std::count_if(labels.begin(), labels.end(),
+                    [](int y) { return y != 0; }));
+}
+
+LabeledPairs sample_candidate_pairs(const data::Dataset& dataset,
+                                    const PairSamplingConfig& config) {
+  const graph::Graph& g = dataset.friendships();
+  util::Rng rng(config.seed);
+
+  LabeledPairs out;
+  std::set<data::UserPair> used;
+
+  // Positives: every ground-truth friendship.
+  for (const graph::Edge& e : g.edges()) {
+    const data::UserPair p{e.a, e.b};
+    out.pairs.push_back(p);
+    out.labels.push_back(1);
+    used.insert(p);
+  }
+  const std::size_t positives = out.pairs.size();
+  if (positives == 0)
+    throw std::invalid_argument(
+        "sample_candidate_pairs: ground-truth graph has no edges");
+
+  const auto negatives_target = static_cast<std::size_t>(
+      config.negative_ratio * static_cast<double>(positives));
+  const auto hard_target = static_cast<std::size_t>(
+      config.hard_negative_fraction *
+      static_cast<double>(negatives_target));
+
+  // Hard negatives: friend-of-friend pairs that are not friends.
+  std::size_t hard = 0;
+  std::size_t attempts = 0;
+  while (hard < hard_target && attempts++ < hard_target * 80) {
+    const auto pivot =
+        static_cast<data::UserId>(rng.index(dataset.user_count()));
+    const auto& nbrs = g.neighbors(pivot);
+    if (nbrs.size() < 2) continue;
+    const data::UserId a = nbrs[rng.index(nbrs.size())];
+    const data::UserId b = nbrs[rng.index(nbrs.size())];
+    if (a == b || g.has_edge(a, b)) continue;
+    const data::UserPair p = data::make_pair_ordered(a, b);
+    if (!used.insert(p).second) continue;
+    out.pairs.push_back(p);
+    out.labels.push_back(0);
+    ++hard;
+  }
+
+  // Random negatives for the remainder.
+  attempts = 0;
+  while (out.pairs.size() < positives + negatives_target &&
+         attempts++ < negatives_target * 200) {
+    const auto a = static_cast<data::UserId>(rng.index(dataset.user_count()));
+    const auto b = static_cast<data::UserId>(rng.index(dataset.user_count()));
+    if (a == b || g.has_edge(a, b)) continue;
+    const data::UserPair p = data::make_pair_ordered(a, b);
+    if (!used.insert(p).second) continue;
+    out.pairs.push_back(p);
+    out.labels.push_back(0);
+  }
+  return out;
+}
+
+PairSplit split_pairs(const LabeledPairs& all, double train_fraction,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  const ml::SplitIndices idx =
+      ml::stratified_split(all.labels, train_fraction, rng);
+  PairSplit out;
+  out.train_pairs = ml::take(all.pairs, idx.train);
+  out.train_labels = ml::take(all.labels, idx.train);
+  out.test_pairs = ml::take(all.pairs, idx.test);
+  out.test_labels = ml::take(all.labels, idx.test);
+  return out;
+}
+
+}  // namespace fs::eval

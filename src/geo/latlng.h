@@ -1,0 +1,84 @@
+// Geographic primitives: coordinates, distances, bounding boxes.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fs::geo {
+
+/// Mean Earth radius (meters), IUGG value.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A WGS-84 coordinate. Latitude in [-90, 90], longitude in [-180, 180].
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  friend bool operator==(const LatLng&, const LatLng&) = default;
+};
+
+inline double deg2rad(double deg) { return deg * M_PI / 180.0; }
+inline double rad2deg(double rad) { return rad * 180.0 / M_PI; }
+
+/// Great-circle distance in meters (haversine formula).
+inline double haversine_m(const LatLng& a, const LatLng& b) {
+  const double phi1 = deg2rad(a.lat);
+  const double phi2 = deg2rad(b.lat);
+  const double dphi = deg2rad(b.lat - a.lat);
+  const double dlam = deg2rad(b.lng - a.lng);
+  const double s = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlam / 2) *
+                       std::sin(dlam / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+/// Fast flat-earth approximation, adequate below ~100 km. Used in hot loops
+/// (distance-based baseline, mobility generation).
+inline double equirectangular_m(const LatLng& a, const LatLng& b) {
+  const double x = deg2rad(b.lng - a.lng) *
+                   std::cos(deg2rad((a.lat + b.lat) / 2.0));
+  const double y = deg2rad(b.lat - a.lat);
+  return kEarthRadiusMeters * std::sqrt(x * x + y * y);
+}
+
+/// Axis-aligned lat/lng rectangle; `max` edges are exclusive for point
+/// classification so quadtree children tile without overlap.
+struct BoundingBox {
+  LatLng min;  // south-west corner
+  LatLng max;  // north-east corner
+
+  bool contains(const LatLng& p) const {
+    return p.lat >= min.lat && p.lat < max.lat && p.lng >= min.lng &&
+           p.lng < max.lng;
+  }
+
+  LatLng center() const {
+    return {(min.lat + max.lat) / 2.0, (min.lng + max.lng) / 2.0};
+  }
+
+  double lat_span() const { return max.lat - min.lat; }
+  double lng_span() const { return max.lng - min.lng; }
+
+  /// Smallest box containing all points, inflated by a hair so every point
+  /// satisfies the half-open `contains` test.
+  template <typename Iter, typename Proj>
+  static BoundingBox around(Iter first, Iter last, Proj proj) {
+    if (first == last)
+      throw std::invalid_argument("BoundingBox::around: empty range");
+    BoundingBox box{{90.0, 180.0}, {-90.0, -180.0}};
+    for (Iter it = first; it != last; ++it) {
+      const LatLng p = proj(*it);
+      box.min.lat = std::min(box.min.lat, p.lat);
+      box.min.lng = std::min(box.min.lng, p.lng);
+      box.max.lat = std::max(box.max.lat, p.lat);
+      box.max.lng = std::max(box.max.lng, p.lng);
+    }
+    const double eps_lat = std::max(1e-9, box.lat_span() * 1e-9);
+    const double eps_lng = std::max(1e-9, box.lng_span() * 1e-9);
+    box.max.lat += eps_lat;
+    box.max.lng += eps_lng;
+    return box;
+  }
+};
+
+}  // namespace fs::geo

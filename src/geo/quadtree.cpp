@@ -1,0 +1,131 @@
+#include "geo/quadtree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fs::geo {
+
+QuadtreeDivision::QuadtreeDivision(const std::vector<LatLng>& pois,
+                                   std::size_t sigma, int max_depth) {
+  if (pois.empty())
+    throw std::invalid_argument("QuadtreeDivision: no POIs");
+  if (sigma == 0)
+    throw std::invalid_argument("QuadtreeDivision: sigma must be > 0");
+  root_box_ = BoundingBox::around(pois.begin(), pois.end(),
+                                  [](const LatLng& p) { return p; });
+  poi_cell_.assign(pois.size(), 0);
+  std::vector<std::uint32_t> all(pois.size());
+  for (std::size_t i = 0; i < pois.size(); ++i)
+    all[i] = static_cast<std::uint32_t>(i);
+  nodes_.push_back(Node{root_box_, {kInvalid, kInvalid, kInvalid, kInvalid},
+                        kInvalid});
+  build(0, std::move(all), pois, sigma, 0, max_depth);
+}
+
+void QuadtreeDivision::build(std::uint32_t node,
+                             std::vector<std::uint32_t> pois,
+                             const std::vector<LatLng>& coords,
+                             std::size_t sigma, int depth, int max_depth) {
+  depth_reached_ = std::max(depth_reached_, depth);
+  if (pois.size() <= sigma || depth >= max_depth) {
+    const auto leaf_id = static_cast<std::uint32_t>(leaf_boxes_.size());
+    nodes_[node].leaf_id = leaf_id;
+    leaf_boxes_.push_back(nodes_[node].box);
+    for (std::uint32_t poi : pois) poi_cell_[poi] = leaf_id;
+    leaf_pois_.push_back(std::move(pois));
+    return;
+  }
+  const BoundingBox box = nodes_[node].box;
+  const LatLng mid = box.center();
+  // Quadrants: index bit0 = east half, bit1 = north half.
+  BoundingBox quads[4] = {
+      {{box.min.lat, box.min.lng}, {mid.lat, mid.lng}},        // SW
+      {{box.min.lat, mid.lng}, {mid.lat, box.max.lng}},        // SE
+      {{mid.lat, box.min.lng}, {box.max.lat, mid.lng}},        // NW
+      {{mid.lat, mid.lng}, {box.max.lat, box.max.lng}},        // NE
+  };
+  std::vector<std::uint32_t> parts[4];
+  for (std::uint32_t poi : pois) {
+    const LatLng& p = coords[poi];
+    const int q = (p.lat >= mid.lat ? 2 : 0) | (p.lng >= mid.lng ? 1 : 0);
+    parts[q].push_back(poi);
+  }
+  pois.clear();
+  pois.shrink_to_fit();
+  for (int q = 0; q < 4; ++q) {
+    const auto child = static_cast<std::uint32_t>(nodes_.size());
+    nodes_[node].child[q] = child;
+    nodes_.push_back(
+        Node{quads[q], {kInvalid, kInvalid, kInvalid, kInvalid}, kInvalid});
+    build(child, std::move(parts[q]), coords, sigma, depth + 1, max_depth);
+  }
+}
+
+std::size_t QuadtreeDivision::cell_of(const LatLng& point) const {
+  LatLng p = point;
+  // Clamp into the root box (half-open upper edge).
+  p.lat = std::clamp(p.lat, root_box_.min.lat,
+                     std::nextafter(root_box_.max.lat, -1e9));
+  p.lng = std::clamp(p.lng, root_box_.min.lng,
+                     std::nextafter(root_box_.max.lng, -1e9));
+  std::uint32_t node = 0;
+  while (nodes_[node].leaf_id == kInvalid) {
+    const LatLng mid = nodes_[node].box.center();
+    const int q = (p.lat >= mid.lat ? 2 : 0) | (p.lng >= mid.lng ? 1 : 0);
+    node = nodes_[node].child[q];
+  }
+  return nodes_[node].leaf_id;
+}
+
+std::vector<std::size_t> QuadtreeDivision::neighbor_cells(
+    std::size_t cell) const {
+  const BoundingBox& box = cell_box(cell);
+  // Probe just outside each edge midpoint and each corner; dedupe.
+  const double dlat = std::max(box.lat_span() * 0.01, 1e-7);
+  const double dlng = std::max(box.lng_span() * 0.01, 1e-7);
+  const LatLng c = box.center();
+  const LatLng probes[8] = {
+      {box.max.lat + dlat, c.lng},          // N
+      {box.min.lat - dlat, c.lng},          // S
+      {c.lat, box.max.lng + dlng},          // E
+      {c.lat, box.min.lng - dlng},          // W
+      {box.max.lat + dlat, box.max.lng + dlng},
+      {box.max.lat + dlat, box.min.lng - dlng},
+      {box.min.lat - dlat, box.max.lng + dlng},
+      {box.min.lat - dlat, box.min.lng - dlng},
+  };
+  std::vector<std::size_t> out;
+  for (const LatLng& probe : probes) {
+    if (!root_box_.contains(probe)) continue;
+    const std::size_t neighbor = cell_of(probe);
+    if (neighbor == cell) continue;
+    if (std::find(out.begin(), out.end(), neighbor) == out.end())
+      out.push_back(neighbor);
+  }
+  return out;
+}
+
+UniformGridDivision::UniformGridDivision(const std::vector<LatLng>& pois,
+                                         std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  if (pois.empty())
+    throw std::invalid_argument("UniformGridDivision: no POIs");
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("UniformGridDivision: zero rows/cols");
+  root_box_ = BoundingBox::around(pois.begin(), pois.end(),
+                                  [](const LatLng& p) { return p; });
+}
+
+std::size_t UniformGridDivision::cell_of(const LatLng& point) const {
+  const double fy = (point.lat - root_box_.min.lat) / root_box_.lat_span();
+  const double fx = (point.lng - root_box_.min.lng) / root_box_.lng_span();
+  const auto clamp_idx = [](double f, std::size_t n) {
+    auto i = static_cast<long long>(f * static_cast<double>(n));
+    if (i < 0) i = 0;
+    if (i >= static_cast<long long>(n)) i = static_cast<long long>(n) - 1;
+    return static_cast<std::size_t>(i);
+  };
+  return clamp_idx(fy, rows_) * cols_ + clamp_idx(fx, cols_);
+}
+
+}  // namespace fs::geo

@@ -1,0 +1,96 @@
+// Quadtree spatial division (Definition 8's adaptive grid).
+//
+// The paper divides the region of interest recursively into four equal grids
+// until every grid holds at most sigma POIs, so dense downtown areas get
+// fine cells and the countryside gets coarse ones. Leaves, numbered
+// 0..cell_count()-1, are the spatial axis of the spatial-temporal division.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace fs::geo {
+
+/// Adaptive spatial division over a fixed set of POI coordinates.
+class QuadtreeDivision {
+ public:
+  /// Builds the division. `sigma` is the maximum POIs per leaf;
+  /// `max_depth` bounds recursion when many POIs share a coordinate.
+  QuadtreeDivision(const std::vector<LatLng>& pois, std::size_t sigma,
+                   int max_depth = 20);
+
+  /// Number of leaf cells (the paper's I).
+  std::size_t cell_count() const { return leaf_boxes_.size(); }
+
+  /// Leaf cell index for a point. Points outside the root bounding box are
+  /// clamped onto its boundary first (obfuscated check-ins can drift).
+  std::size_t cell_of(const LatLng& point) const;
+
+  /// Bounding box of leaf `cell`.
+  const BoundingBox& cell_box(std::size_t cell) const {
+    return leaf_boxes_.at(cell);
+  }
+
+  /// POI indices (into the constructor vector) inside leaf `cell`.
+  const std::vector<std::uint32_t>& cell_pois(std::size_t cell) const {
+    return leaf_pois_.at(cell);
+  }
+
+  const BoundingBox& root_box() const { return root_box_; }
+
+  /// Maximum depth actually reached while building.
+  int depth() const { return depth_reached_; }
+
+  /// Index of the leaf containing POI `poi` (constructor-order index).
+  std::size_t cell_of_poi(std::size_t poi) const {
+    return poi_cell_.at(poi);
+  }
+
+  /// Leaf cells adjacent to `cell` (sharing an edge or corner). Used by
+  /// cross-grid blurring, which relocates a check-in to a neighboring grid.
+  std::vector<std::size_t> neighbor_cells(std::size_t cell) const;
+
+ private:
+  struct Node {
+    BoundingBox box;
+    // Children in quadrant order (SW, SE, NW, NE); kInvalid for leaves.
+    std::uint32_t child[4];
+    std::uint32_t leaf_id;  // kInvalid for internal nodes
+  };
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  void build(std::uint32_t node, std::vector<std::uint32_t> pois,
+             const std::vector<LatLng>& coords, std::size_t sigma, int depth,
+             int max_depth);
+
+  std::vector<Node> nodes_;
+  std::vector<BoundingBox> leaf_boxes_;
+  std::vector<std::vector<std::uint32_t>> leaf_pois_;
+  std::vector<std::size_t> poi_cell_;
+  BoundingBox root_box_;
+  int depth_reached_ = 0;
+};
+
+/// Uniform grid division over the same interface surface, for the
+/// quadtree-vs-uniform ablation. Splits the bounding box of the POIs into
+/// `rows` x `cols` equal cells.
+class UniformGridDivision {
+ public:
+  UniformGridDivision(const std::vector<LatLng>& pois, std::size_t rows,
+                      std::size_t cols);
+
+  std::size_t cell_count() const { return rows_ * cols_; }
+  std::size_t cell_of(const LatLng& point) const;
+  const BoundingBox& root_box() const { return root_box_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  BoundingBox root_box_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace fs::geo

@@ -1,0 +1,47 @@
+// Polymorphic view over spatial divisions so the JOC builder can run on the
+// paper's quadtree division or the uniform-grid ablation interchangeably.
+#pragma once
+
+#include <cstddef>
+
+#include "geo/latlng.h"
+#include "geo/quadtree.h"
+
+namespace fs::geo {
+
+/// Abstract spatial division: a partition of the plane into indexed cells.
+class SpatialDivision {
+ public:
+  virtual ~SpatialDivision() = default;
+  virtual std::size_t cell_count() const = 0;
+  virtual std::size_t cell_of(const LatLng& point) const = 0;
+};
+
+/// Non-owning adapters over the concrete division types.
+class QuadtreeDivisionView final : public SpatialDivision {
+ public:
+  explicit QuadtreeDivisionView(const QuadtreeDivision& division)
+      : division_(&division) {}
+  std::size_t cell_count() const override { return division_->cell_count(); }
+  std::size_t cell_of(const LatLng& point) const override {
+    return division_->cell_of(point);
+  }
+
+ private:
+  const QuadtreeDivision* division_;
+};
+
+class UniformGridDivisionView final : public SpatialDivision {
+ public:
+  explicit UniformGridDivisionView(const UniformGridDivision& division)
+      : division_(&division) {}
+  std::size_t cell_count() const override { return division_->cell_count(); }
+  std::size_t cell_of(const LatLng& point) const override {
+    return division_->cell_of(point);
+  }
+
+ private:
+  const UniformGridDivision* division_;
+};
+
+}  // namespace fs::geo

@@ -1,0 +1,51 @@
+// Temporal axis of the spatial-temporal division: fixed-length slots of
+// length tau over an observation window.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace fs::geo {
+
+/// Unix-style timestamp in seconds. The synthetic world uses second 0 as the
+/// start of its observation window; real loaders carry epoch seconds.
+using Timestamp = std::int64_t;
+
+inline constexpr Timestamp kSecondsPerDay = 86400;
+
+/// Partition of [begin, end) into equal slots of `slot_seconds` (tau).
+class TimeSlotting {
+ public:
+  TimeSlotting(Timestamp begin, Timestamp end, Timestamp slot_seconds)
+      : begin_(begin), end_(end), slot_seconds_(slot_seconds) {
+    if (end <= begin)
+      throw std::invalid_argument("TimeSlotting: empty window");
+    if (slot_seconds <= 0)
+      throw std::invalid_argument("TimeSlotting: tau must be > 0");
+    slot_count_ = static_cast<std::size_t>((end - begin + slot_seconds - 1) /
+                                           slot_seconds);
+  }
+
+  /// Number of slots (the paper's J).
+  std::size_t slot_count() const { return slot_count_; }
+
+  /// Slot index of a timestamp; timestamps outside the window clamp to the
+  /// first/last slot (obfuscation can nudge timestamps past the edges).
+  std::size_t slot_of(Timestamp t) const {
+    if (t < begin_) return 0;
+    if (t >= end_) return slot_count_ - 1;
+    return static_cast<std::size_t>((t - begin_) / slot_seconds_);
+  }
+
+  Timestamp begin() const { return begin_; }
+  Timestamp end() const { return end_; }
+  Timestamp slot_seconds() const { return slot_seconds_; }
+
+ private:
+  Timestamp begin_;
+  Timestamp end_;
+  Timestamp slot_seconds_;
+  std::size_t slot_count_;
+};
+
+}  // namespace fs::geo

@@ -1,0 +1,77 @@
+#include "graph/generators.h"
+
+#include <stdexcept>
+
+namespace fs::graph {
+
+Graph erdos_renyi(std::size_t n, double p, util::Rng& rng) {
+  Graph g(n);
+  if (p <= 0.0) return g;
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b)
+      if (rng.chance(p)) g.add_edge(a, b);
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k_ring, double beta,
+                     util::Rng& rng) {
+  if (k_ring % 2 != 0 || k_ring < 2)
+    throw std::invalid_argument("watts_strogatz: k_ring must be even >= 2");
+  if (n <= k_ring)
+    throw std::invalid_argument("watts_strogatz: need n > k_ring");
+  Graph g(n);
+  // Ring lattice.
+  for (NodeId v = 0; v < n; ++v)
+    for (std::size_t j = 1; j <= k_ring / 2; ++j)
+      g.add_edge(v, static_cast<NodeId>((v + j) % n));
+  // Rewire each lattice edge (v, v+j) with probability beta.
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::size_t j = 1; j <= k_ring / 2; ++j) {
+      if (!rng.chance(beta)) continue;
+      const auto w = static_cast<NodeId>((v + j) % n);
+      if (!g.has_edge(v, w)) continue;  // Already rewired away.
+      // Pick a new endpoint; skip if saturated.
+      if (g.degree(v) >= n - 1) continue;
+      NodeId target;
+      do {
+        target = static_cast<NodeId>(rng.index(n));
+      } while (target == v || g.has_edge(v, target));
+      g.remove_edge(v, w);
+      g.add_edge(v, target);
+    }
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
+  if (m < 1) throw std::invalid_argument("barabasi_albert: m must be >= 1");
+  if (n <= m) throw std::invalid_argument("barabasi_albert: need n > m");
+  Graph g(n);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<NodeId> endpoints;
+  // Seed: star over the first m+1 nodes.
+  for (NodeId v = 1; v <= m; ++v) {
+    g.add_edge(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    std::vector<NodeId> chosen;
+    while (chosen.size() < m) {
+      const NodeId candidate = endpoints[rng.index(endpoints.size())];
+      if (candidate == v) continue;
+      bool dup = false;
+      for (NodeId c : chosen) dup |= (c == candidate);
+      if (!dup) chosen.push_back(candidate);
+    }
+    for (NodeId c : chosen) {
+      g.add_edge(v, c);
+      endpoints.push_back(v);
+      endpoints.push_back(c);
+    }
+  }
+  return g;
+}
+
+}  // namespace fs::graph

@@ -1,0 +1,24 @@
+// Random-graph generators.
+//
+// The synthetic world builds its ground-truth social graph from these
+// (human societies are small-world networks — the paper leans on that for
+// the k=3 choice), and tests use them as structured fixtures.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace fs::graph {
+
+/// Erdos-Renyi G(n, p).
+Graph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Watts-Strogatz small-world: ring lattice with `k_ring` nearest neighbors
+/// per side rewired with probability `beta`. Requires even `k_ring` >= 2.
+Graph watts_strogatz(std::size_t n, std::size_t k_ring, double beta,
+                     util::Rng& rng);
+
+/// Barabasi-Albert preferential attachment with `m` edges per new node.
+Graph barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng);
+
+}  // namespace fs::graph

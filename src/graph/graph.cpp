@@ -1,0 +1,126 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fs::graph {
+
+Graph Graph::from_edges(std::size_t node_count,
+                        const std::vector<Edge>& edges) {
+  Graph g(node_count);
+  for (const Edge& e : edges) g.add_edge(e.a, e.b);
+  return g;
+}
+
+namespace {
+bool sorted_contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void sorted_insert(std::vector<NodeId>& v, NodeId x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+bool sorted_erase(std::vector<NodeId>& v, NodeId x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+}  // namespace
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b) return false;
+  if (a >= node_count() || b >= node_count())
+    throw std::out_of_range("Graph::add_edge: node id out of range");
+  if (sorted_contains(adjacency_[a], b)) return false;
+  sorted_insert(adjacency_[a], b);
+  sorted_insert(adjacency_[b], a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  if (a >= node_count() || b >= node_count())
+    throw std::out_of_range("Graph::remove_edge: node id out of range");
+  if (!sorted_erase(adjacency_[a], b)) return false;
+  sorted_erase(adjacency_[b], a);
+  --edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  if (a >= node_count() || b >= node_count()) return false;
+  // Probe the smaller adjacency list.
+  const auto& adj =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a]
+                                                   : adjacency_[b];
+  const NodeId target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  return sorted_contains(adj, target);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count_);
+  for (NodeId v = 0; v < node_count(); ++v)
+    for (NodeId w : adjacency_[v])
+      if (v < w) out.emplace_back(v, w);
+  return out;
+}
+
+std::vector<NodeId> Graph::common_neighbors(NodeId a, NodeId b) const {
+  std::vector<NodeId> out;
+  const auto& va = adjacency_.at(a);
+  const auto& vb = adjacency_.at(b);
+  std::set_intersection(va.begin(), va.end(), vb.begin(), vb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::size_t Graph::common_neighbor_count(NodeId a, NodeId b) const {
+  const auto& va = adjacency_.at(a);
+  const auto& vb = adjacency_.at(b);
+  std::size_t count = 0;
+  auto ia = va.begin();
+  auto ib = vb.begin();
+  while (ia != va.end() && ib != vb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+std::size_t Graph::edge_symmetric_difference(const Graph& x, const Graph& y) {
+  if (x.node_count() != y.node_count())
+    throw std::invalid_argument(
+        "Graph::edge_symmetric_difference: node count mismatch");
+  std::size_t diff = 0;
+  for (NodeId v = 0; v < x.node_count(); ++v) {
+    const auto& vx = x.adjacency_[v];
+    const auto& vy = y.adjacency_[v];
+    auto ia = vx.begin();
+    auto ib = vy.begin();
+    while (ia != vx.end() || ib != vy.end()) {
+      if (ib == vy.end() || (ia != vx.end() && *ia < *ib)) {
+        if (*ia > v) ++diff;
+        ++ia;
+      } else if (ia == vx.end() || *ib < *ia) {
+        if (*ib > v) ++diff;
+        ++ib;
+      } else {
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace fs::graph

@@ -1,0 +1,73 @@
+// Compact undirected graph over dense node ids (Definition 5's social graph).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fs::graph {
+
+using NodeId = std::uint32_t;
+
+/// Undirected edge with a <= b canonical ordering.
+struct Edge {
+  NodeId a = 0;
+  NodeId b = 0;
+
+  Edge() = default;
+  Edge(NodeId x, NodeId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Undirected simple graph with sorted adjacency vectors.
+///
+/// Mutation is batched: add/remove edges freely, then neighbors() and
+/// has_edge() reflect the change immediately (adjacency is kept sorted on
+/// every mutation — edge updates are O(degree), which is cheap at social-
+/// graph degrees).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+  static Graph from_edges(std::size_t node_count,
+                          const std::vector<Edge>& edges);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds an undirected edge; self-loops and duplicates are ignored.
+  /// Returns true if the edge was new.
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Removes an edge; returns true if it existed.
+  bool remove_edge(NodeId a, NodeId b);
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+  std::size_t degree(NodeId v) const { return adjacency_.at(v).size(); }
+
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adjacency_.at(v);
+  }
+
+  /// All edges in canonical (a < b) order, sorted.
+  std::vector<Edge> edges() const;
+
+  /// Sorted common neighbors of a and b.
+  std::vector<NodeId> common_neighbors(NodeId a, NodeId b) const;
+  std::size_t common_neighbor_count(NodeId a, NodeId b) const;
+
+  /// Number of edges present in exactly one of the two graphs (symmetric
+  /// difference). Graphs must have equal node counts.
+  static std::size_t edge_symmetric_difference(const Graph& x,
+                                               const Graph& y);
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace fs::graph

@@ -1,0 +1,100 @@
+#include "graph/heuristics.h"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace fs::graph {
+
+double common_neighbors_score(const Graph& g, NodeId a, NodeId b) {
+  return static_cast<double>(g.common_neighbor_count(a, b));
+}
+
+double jaccard_score(const Graph& g, NodeId a, NodeId b) {
+  const std::size_t common = g.common_neighbor_count(a, b);
+  const std::size_t unioned = g.degree(a) + g.degree(b) - common;
+  if (unioned == 0) return 0.0;
+  return static_cast<double>(common) / static_cast<double>(unioned);
+}
+
+double adamic_adar_score(const Graph& g, NodeId a, NodeId b) {
+  double score = 0.0;
+  for (NodeId z : g.common_neighbors(a, b)) {
+    const std::size_t deg = g.degree(z);
+    if (deg > 1) score += 1.0 / std::log(static_cast<double>(deg));
+  }
+  return score;
+}
+
+double preferential_attachment_score(const Graph& g, NodeId a, NodeId b) {
+  return static_cast<double>(g.degree(a)) * static_cast<double>(g.degree(b));
+}
+
+double katz_score(const Graph& g, NodeId a, NodeId b, double beta,
+                  int max_len) {
+  // walks[v] = number of length-l walks from a to v, updated iteratively.
+  std::vector<double> walks(g.node_count(), 0.0);
+  std::vector<double> next(g.node_count(), 0.0);
+  walks[a] = 1.0;
+  double score = 0.0;
+  double beta_pow = 1.0;
+  for (int len = 1; len <= max_len; ++len) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (walks[v] == 0.0) continue;
+      for (NodeId w : g.neighbors(v)) next[w] += walks[v];
+    }
+    walks.swap(next);
+    beta_pow *= beta;
+    score += beta_pow * walks[b];
+  }
+  return score;
+}
+
+double resource_allocation_score(const Graph& g, NodeId a, NodeId b) {
+  double score = 0.0;
+  for (NodeId z : g.common_neighbors(a, b)) {
+    const std::size_t deg = g.degree(z);
+    if (deg > 0) score += 1.0 / static_cast<double>(deg);
+  }
+  return score;
+}
+
+double local_path_score(const Graph& g, NodeId a, NodeId b, double epsilon) {
+  // walks2[v] = #length-2 walks a->v; walks3 via one more expansion.
+  std::vector<double> walks1(g.node_count(), 0.0);
+  for (NodeId w : g.neighbors(a)) walks1[w] = 1.0;
+  std::vector<double> walks2(g.node_count(), 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (walks1[v] == 0.0) continue;
+    for (NodeId w : g.neighbors(v)) walks2[w] += walks1[v];
+  }
+  std::vector<double> walks3(g.node_count(), 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (walks2[v] == 0.0) continue;
+    for (NodeId w : g.neighbors(v)) walks3[w] += walks2[v];
+  }
+  return walks2[b] + epsilon * walks3[b];
+}
+
+int shortest_path_length(const Graph& g, NodeId a, NodeId b, int max_depth) {
+  if (a == b) return 0;
+  std::vector<int> dist(g.node_count(), -1);
+  std::queue<NodeId> frontier;
+  dist[a] = 0;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (dist[v] >= max_depth) continue;
+    for (NodeId w : g.neighbors(v)) {
+      if (dist[w] != -1) continue;
+      dist[w] = dist[v] + 1;
+      if (w == b) return dist[w];
+      frontier.push(w);
+    }
+  }
+  return -1;
+}
+
+}  // namespace fs::graph

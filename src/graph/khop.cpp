@@ -1,0 +1,118 @@
+#include "graph/khop.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fs::graph {
+
+std::vector<Edge> KHopSubgraph::edges() const {
+  std::vector<Edge> out;
+  for (const auto& bucket : paths_by_length)
+    for (const Path& path : bucket)
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        out.emplace_back(path[i], path[i + 1]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// Depth-first enumeration of simple a->b paths of exactly `target_len`
+/// edges, avoiding excluded vertices. `stack` carries the partial path.
+class PathEnumerator {
+ public:
+  PathEnumerator(const Graph& g, NodeId b, int target_len,
+                 const std::vector<char>& excluded, std::size_t cap,
+                 std::vector<Path>& out)
+      : g_(g), b_(b), target_len_(target_len), excluded_(excluded),
+        cap_(cap), out_(out), on_stack_(g.node_count(), 0) {}
+
+  void run(NodeId a) {
+    stack_.push_back(a);
+    on_stack_[a] = 1;
+    dfs(a, 0);
+    on_stack_[a] = 0;
+    stack_.pop_back();
+  }
+
+ private:
+  void dfs(NodeId v, int depth) {
+    if (out_.size() >= cap_) return;
+    if (depth == target_len_ - 1) {
+      // One hop left: succeed iff v is adjacent to b (and b not already on
+      // the stack — b never is, because interior vertices skip it below).
+      if (g_.has_edge(v, b_)) {
+        Path path = stack_;
+        path.push_back(b_);
+        out_.push_back(std::move(path));
+      }
+      return;
+    }
+    for (NodeId w : g_.neighbors(v)) {
+      if (w == b_) continue;  // b may only appear as the final vertex.
+      if (excluded_[w] || on_stack_[w]) continue;
+      stack_.push_back(w);
+      on_stack_[w] = 1;
+      dfs(w, depth + 1);
+      on_stack_[w] = 0;
+      stack_.pop_back();
+      if (out_.size() >= cap_) return;
+    }
+  }
+
+  const Graph& g_;
+  NodeId b_;
+  int target_len_;
+  const std::vector<char>& excluded_;
+  std::size_t cap_;
+  std::vector<Path>& out_;
+  std::vector<char> on_stack_;
+  Path stack_;
+};
+
+}  // namespace
+
+KHopSubgraph extract_khop_subgraph(const Graph& g, NodeId a, NodeId b,
+                                   const KHopOptions& options) {
+  if (options.k < 2)
+    throw std::invalid_argument("extract_khop_subgraph: k must be >= 2");
+  if (a >= g.node_count() || b >= g.node_count())
+    throw std::out_of_range("extract_khop_subgraph: node id out of range");
+  if (a == b)
+    throw std::invalid_argument("extract_khop_subgraph: a == b");
+
+  KHopSubgraph result;
+  result.a = a;
+  result.b = b;
+  result.k = options.k;
+  result.paths_by_length.resize(static_cast<std::size_t>(options.k - 1));
+
+  // Vertices excluded from later rounds. Interior vertices of found paths
+  // are excluded (a and b never are); excluding a vertex removes all its
+  // incident edges from the working graph, which implements the paper's
+  // "exclude all nodes and edges" step without copying the graph.
+  std::vector<char> excluded(g.node_count(), 0);
+
+  for (int length = 2; length <= options.k; ++length) {
+    auto& bucket = result.paths_by_length[static_cast<std::size_t>(length - 2)];
+    PathEnumerator enumerator(g, b, length, excluded,
+                              options.max_paths_per_length, bucket);
+    enumerator.run(a);
+    for (const Path& path : bucket)
+      for (std::size_t i = 1; i + 1 < path.size(); ++i)
+        excluded[path[i]] = 1;
+  }
+  return result;
+}
+
+std::vector<std::size_t> khop_path_counts(const Graph& g, NodeId a, NodeId b,
+                                          const KHopOptions& options) {
+  const KHopSubgraph sub = extract_khop_subgraph(g, a, b, options);
+  std::vector<std::size_t> counts;
+  counts.reserve(sub.paths_by_length.size());
+  for (const auto& bucket : sub.paths_by_length) counts.push_back(bucket.size());
+  return counts;
+}
+
+}  // namespace fs::graph

@@ -1,0 +1,66 @@
+// k-hop reachable subgraph (Section III-C.1, Theorem 1).
+//
+// For a user pair (a, b), the subgraph collects a-b paths by increasing
+// length l = 2..k; after each round every interior vertex of a found path is
+// excluded from the working graph, so (i) every retained path is an induced
+// path and (ii) paths of different lengths share no edges — exactly the
+// construction the paper proves in Theorem 1 and illustrates in Fig. 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fs::graph {
+
+/// A path is the full vertex sequence from a to b inclusive.
+using Path = std::vector<NodeId>;
+
+struct KHopSubgraph {
+  NodeId a = 0;
+  NodeId b = 0;
+  int k = 0;
+
+  /// paths_by_length[i] holds every retained path of length i + 2
+  /// (a path's length is its edge count).
+  std::vector<std::vector<Path>> paths_by_length;
+
+  std::size_t path_count() const {
+    std::size_t n = 0;
+    for (const auto& bucket : paths_by_length) n += bucket.size();
+    return n;
+  }
+
+  /// Number of paths of exactly `length` edges (2 <= length <= k).
+  std::size_t path_count_of_length(int length) const {
+    const int idx = length - 2;
+    if (idx < 0 || idx >= static_cast<int>(paths_by_length.size())) return 0;
+    return paths_by_length[static_cast<std::size_t>(idx)].size();
+  }
+
+  /// All distinct edges appearing on retained paths.
+  std::vector<Edge> edges() const;
+
+  bool empty() const { return path_count() == 0; }
+};
+
+struct KHopOptions {
+  int k = 3;
+  /// Safety valve against pathological hubs: per-length cap on enumerated
+  /// paths. Real social graphs at our scale stay far below it.
+  std::size_t max_paths_per_length = 4096;
+};
+
+/// Extracts the k-hop reachable subgraph between a and b on `g`.
+/// The direct edge (a, b), if present, is never part of the subgraph
+/// (lengths start at 2) — the feature describes *indirect* proximity.
+KHopSubgraph extract_khop_subgraph(const Graph& g, NodeId a, NodeId b,
+                                   const KHopOptions& options = {});
+
+/// Convenience: number of length-l paths for l = 2..k as a dense vector
+/// (index 0 <-> length 2). Used by Fig. 5's census.
+std::vector<std::size_t> khop_path_counts(const Graph& g, NodeId a, NodeId b,
+                                          const KHopOptions& options = {});
+
+}  // namespace fs::graph

@@ -1,0 +1,105 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fs::graph {
+
+double edge_change_ratio(const Graph& previous, const Graph& current) {
+  const std::size_t diff = Graph::edge_symmetric_difference(previous, current);
+  const std::size_t denom = std::max<std::size_t>(1, current.edge_count());
+  return static_cast<double>(diff) / static_cast<double>(denom);
+}
+
+double clustering_coefficient(const Graph& g, NodeId v) {
+  const auto& nbrs = g.neighbors(v);
+  if (nbrs.size() < 2) return 0.0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+      if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+  const std::size_t possible = nbrs.size() * (nbrs.size() - 1) / 2;
+  return static_cast<double>(closed) / static_cast<double>(possible);
+}
+
+double average_clustering(const Graph& g) {
+  if (g.node_count() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    total += clustering_coefficient(g, v);
+  return total / static_cast<double>(g.node_count());
+}
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> label(g.node_count(), kUnset);
+  std::size_t next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (label[start] != kUnset) continue;
+    label[start] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(v)) {
+        if (label[w] != kUnset) continue;
+        label[w] = next;
+        frontier.push(w);
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.node_count() == 0) return stats;
+  stats.min = g.degree(0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::size_t d = g.degree(v);
+    stats.mean += static_cast<double>(d);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    if (d == 0) ++stats.isolated;
+  }
+  stats.mean /= static_cast<double>(g.node_count());
+  return stats;
+}
+
+double estimate_average_path_length(const Graph& g, std::size_t samples,
+                                    std::uint64_t seed) {
+  if (g.node_count() < 2) return 0.0;
+  util::Rng rng(seed);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  std::vector<int> dist(g.node_count());
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto src = static_cast<NodeId>(rng.index(g.node_count()));
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<NodeId> frontier;
+    dist[src] = 0;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(v)) {
+        if (dist[w] != -1) continue;
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == src || dist[v] <= 0) continue;
+      total += dist[v];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace fs::graph

@@ -1,0 +1,107 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fs::ml {
+
+Confusion confusion(const std::vector<int>& truth,
+                    const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument("confusion: size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth[i] != 0;
+    const bool p = predicted[i] != 0;
+    if (t && p) ++c.tp;
+    else if (!t && p) ++c.fp;
+    else if (t && !p) ++c.fn;
+    else ++c.tn;
+  }
+  return c;
+}
+
+Prf prf(const Confusion& c) {
+  Prf out;
+  if (c.tp + c.fp > 0)
+    out.precision = static_cast<double>(c.tp) /
+                    static_cast<double>(c.tp + c.fp);
+  if (c.tp + c.fn > 0)
+    out.recall = static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fn);
+  if (out.precision + out.recall > 0.0)
+    out.f1 = 2.0 * out.precision * out.recall /
+             (out.precision + out.recall);
+  return out;
+}
+
+Prf prf(const std::vector<int>& truth, const std::vector<int>& predicted) {
+  return prf(confusion(truth, predicted));
+}
+
+double accuracy(const Confusion& c) {
+  const std::size_t total = c.total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(c.tp + c.tn) / static_cast<double>(total);
+}
+
+std::vector<int> threshold(const std::vector<double>& probabilities,
+                           double cutoff) {
+  std::vector<int> out(probabilities.size());
+  for (std::size_t i = 0; i < probabilities.size(); ++i)
+    out[i] = probabilities[i] >= cutoff ? 1 : 0;
+  return out;
+}
+
+TunedThreshold tune_f1_threshold(const std::vector<double>& scores,
+                              const std::vector<int>& labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("tune_threshold: size mismatch");
+  if (scores.empty())
+    throw std::invalid_argument("tune_threshold: empty scores");
+
+  // Sweep every distinct score as a candidate cut; O(n log n + n * k) with
+  // k distinct values — small for our baselines.
+  std::vector<std::pair<double, int>> sorted(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    sorted[i] = {scores[i], labels[i]};
+  std::sort(sorted.begin(), sorted.end());
+
+  const std::size_t total_pos =
+      static_cast<std::size_t>(std::count_if(labels.begin(),
+                                             labels.end(),
+                                             [](int y) { return y != 0; }));
+
+  TunedThreshold best;
+  best.threshold = sorted.front().first;  // predict-all-positive fallback
+
+  // Walking the sorted scores left to right: everything at or above the
+  // cut is predicted positive.
+  std::size_t pos_below = 0;  // positives strictly below the cut
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i == 0 || sorted[i].first != sorted[i - 1].first) {
+      const std::size_t predicted_pos = sorted.size() - below;
+      const std::size_t tp = total_pos - pos_below;
+      if (predicted_pos > 0 && total_pos > 0) {
+        const double precision = static_cast<double>(tp) /
+                                 static_cast<double>(predicted_pos);
+        const double recall =
+            static_cast<double>(tp) / static_cast<double>(total_pos);
+        const double f1 = precision + recall > 0.0
+                              ? 2.0 * precision * recall /
+                                    (precision + recall)
+                              : 0.0;
+        if (f1 > best.train_f1) {
+          best.train_f1 = f1;
+          best.threshold = sorted[i].first;
+        }
+      }
+    }
+    ++below;
+    if (sorted[i].second != 0) ++pos_below;
+  }
+  return best;
+}
+
+
+}  // namespace fs::ml

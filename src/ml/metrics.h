@@ -1,0 +1,51 @@
+// Binary-classification metrics. The paper evaluates everything with
+// F1-score (plus precision/recall in the sensitivity figures).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fs::ml {
+
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+};
+
+Confusion confusion(const std::vector<int>& truth,
+                    const std::vector<int>& predicted);
+
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Precision/recall/F1 of the positive class; all zero when undefined
+/// (no predicted positives / no actual positives).
+Prf prf(const Confusion& c);
+Prf prf(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+/// Plain accuracy.
+double accuracy(const Confusion& c);
+
+/// Thresholds probabilities at 0.5 into hard labels.
+std::vector<int> threshold(const std::vector<double>& probabilities,
+                           double cutoff = 0.5);
+
+/// The score cut that maximizes F1 on a labeled set (predict positive at or
+/// above the cut). Used by every attack to pick its operating point on the
+/// training split.
+struct TunedThreshold {
+  double threshold = 0.0;
+  double train_f1 = 0.0;
+};
+
+TunedThreshold tune_f1_threshold(const std::vector<double>& scores,
+                                 const std::vector<int>& labels);
+
+}  // namespace fs::ml

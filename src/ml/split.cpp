@@ -1,0 +1,32 @@
+#include "ml/split.h"
+
+#include <stdexcept>
+
+namespace fs::ml {
+
+SplitIndices stratified_split(const std::vector<int>& labels,
+                              double train_fraction, util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument(
+        "stratified_split: train_fraction must be in (0, 1)");
+  std::vector<std::size_t> positives, negatives;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    (labels[i] != 0 ? positives : negatives).push_back(i);
+  rng.shuffle(positives);
+  rng.shuffle(negatives);
+
+  SplitIndices out;
+  auto divide = [&](std::vector<std::size_t>& pool) {
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(pool.size()));
+    out.train.insert(out.train.end(), pool.begin(), pool.begin() + cut);
+    out.test.insert(out.test.end(), pool.begin() + cut, pool.end());
+  };
+  divide(positives);
+  divide(negatives);
+  rng.shuffle(out.train);
+  rng.shuffle(out.test);
+  return out;
+}
+
+}  // namespace fs::ml

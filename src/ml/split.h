@@ -1,0 +1,31 @@
+// Train/test splitting helpers (the paper uses 70 % / 30 %).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fs::ml {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified split: preserves the label ratio in both parts.
+/// `train_fraction` in (0, 1).
+SplitIndices stratified_split(const std::vector<int>& labels,
+                              double train_fraction, util::Rng& rng);
+
+/// Selects from `values` the entries at `indices`.
+template <typename T>
+std::vector<T> take(const std::vector<T>& values,
+                    const std::vector<std::size_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(values.at(i));
+  return out;
+}
+
+}  // namespace fs::ml

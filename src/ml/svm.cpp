@@ -1,0 +1,292 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace fs::ml {
+
+SvmClassifier::SvmClassifier(const SvmConfig& config) : config_(config) {
+  if (config.c <= 0.0)
+    throw std::invalid_argument("SvmClassifier: C must be > 0");
+}
+
+double SvmClassifier::kernel(const double* x, const double* y,
+                             std::size_t dim) const {
+  double dist = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = x[i] - y[i];
+    dist += d * d;
+  }
+  return std::exp(-gamma_ * dist);
+}
+
+void SvmClassifier::fit(const nn::Matrix& features,
+                        const std::vector<int>& labels) {
+  const std::size_t n = features.rows();
+  if (n != labels.size())
+    throw std::invalid_argument("SvmClassifier::fit: size mismatch");
+  if (n == 0) throw std::invalid_argument("SvmClassifier::fit: empty set");
+  if (n > config_.max_train_rows)
+    throw std::invalid_argument(
+        "SvmClassifier::fit: training set exceeds max_train_rows; "
+        "subsample before fitting");
+  const std::size_t dim = features.cols();
+
+  // Labels to {-1, +1}.
+  std::vector<double> y(n);
+  bool has_pos = false, has_neg = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = labels[i] != 0 ? 1.0 : -1.0;
+    (labels[i] != 0 ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg)
+    throw std::invalid_argument("SvmClassifier::fit: need both classes");
+
+  // Gamma "scale": 1 / (dim * mean feature variance).
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    double mean_var = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      double mean = 0.0, sq = 0.0;
+      for (std::size_t r = 0; r < n; ++r) mean += features(r, c);
+      mean /= static_cast<double>(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double d = features(r, c) - mean;
+        sq += d * d;
+      }
+      mean_var += sq / static_cast<double>(n);
+    }
+    mean_var /= static_cast<double>(dim);
+    gamma_ = mean_var > 1e-12 ? 1.0 / (static_cast<double>(dim) * mean_var)
+                              : 1.0 / static_cast<double>(dim);
+  }
+
+  // Precomputed kernel matrix (symmetric; memory guarded by max_train_rows).
+  nn::Matrix K(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    K(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double k = kernel(features.row(i), features.row(j), dim);
+      K(i, j) = k;
+      K(j, i) = k;
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  util::Rng rng(config_.seed);
+
+  auto decision_i = [&](std::size_t i) {
+    double f = b;
+    const double* krow = K.row(i);
+    for (std::size_t j = 0; j < n; ++j)
+      if (alpha[j] != 0.0) f += alpha[j] * y[j] * krow[j];
+    return f;
+  };
+
+  const double C = config_.c;
+  const double tol = config_.tolerance;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes &&
+         iterations++ < config_.max_iterations) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e_i = decision_i(i) - y[i];
+      const bool violates = (y[i] * e_i < -tol && alpha[i] < C) ||
+                            (y[i] * e_i > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.index(n - 1);
+      if (j >= i) ++j;  // j != i, uniform over the rest
+      const double e_j = decision_i(j) - y[j];
+
+      const double alpha_i_old = alpha[i];
+      const double alpha_j_old = alpha[j];
+
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, alpha[j] - alpha[i]);
+        hi = std::min(C, C + alpha[j] - alpha[i]);
+      } else {
+        lo = std::max(0.0, alpha[i] + alpha[j] - C);
+        hi = std::min(C, alpha[i] + alpha[j]);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * K(i, j) - K(i, i) - K(j, j);
+      if (eta >= 0.0) continue;
+
+      double alpha_j_new = alpha_j_old - y[j] * (e_i - e_j) / eta;
+      alpha_j_new = std::clamp(alpha_j_new, lo, hi);
+      if (std::abs(alpha_j_new - alpha_j_old) < 1e-5) continue;
+
+      const double alpha_i_new =
+          alpha_i_old + y[i] * y[j] * (alpha_j_old - alpha_j_new);
+      alpha[i] = alpha_i_new;
+      alpha[j] = alpha_j_new;
+
+      const double b1 = b - e_i - y[i] * (alpha_i_new - alpha_i_old) * K(i, i) -
+                        y[j] * (alpha_j_new - alpha_j_old) * K(i, j);
+      const double b2 = b - e_j - y[i] * (alpha_i_new - alpha_i_old) * K(i, j) -
+                        y[j] * (alpha_j_new - alpha_j_old) * K(j, j);
+      if (alpha_i_new > 0.0 && alpha_i_new < C) b = b1;
+      else if (alpha_j_new > 0.0 && alpha_j_new < C) b = b2;
+      else b = (b1 + b2) / 2.0;
+
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  // Keep only support vectors.
+  std::vector<std::size_t> sv;
+  for (std::size_t i = 0; i < n; ++i)
+    if (alpha[i] > 1e-8) sv.push_back(i);
+  support_ = features.gather_rows(sv);
+  alpha_y_.resize(sv.size());
+  for (std::size_t s = 0; s < sv.size(); ++s)
+    alpha_y_[s] = alpha[sv[s]] * y[sv[s]];
+  bias_ = b;
+  trained_ = true;
+}
+
+double SvmClassifier::decision(const double* query) const {
+  if (!trained_) throw std::logic_error("SvmClassifier: predict before fit");
+  double f = bias_;
+  const std::size_t dim = support_.cols();
+  for (std::size_t s = 0; s < support_.rows(); ++s)
+    f += alpha_y_[s] * kernel(support_.row(s), query, dim);
+  return f;
+}
+
+std::vector<double> SvmClassifier::decision(const nn::Matrix& queries) const {
+  if (queries.cols() != support_.cols())
+    throw std::invalid_argument("SvmClassifier: query width mismatch");
+  std::vector<double> out(queries.rows());
+  for (std::size_t r = 0; r < queries.rows(); ++r)
+    out[r] = decision(queries.row(r));
+  return out;
+}
+
+std::vector<int> SvmClassifier::predict(const nn::Matrix& queries) const {
+  const std::vector<double> d = decision(queries);
+  std::vector<int> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = d[i] > 0.0;
+  return out;
+}
+
+std::vector<double> SvmClassifier::predict_proba(
+    const nn::Matrix& queries) const {
+  const std::vector<double> d = decision(queries);
+  std::vector<double> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double z =
+        calibrated_ ? -(platt_a_ * d[i] + platt_b_) : d[i];
+    out[i] = 1.0 / (1.0 + std::exp(-z));
+  }
+  return out;
+}
+
+void SvmClassifier::calibrate(const nn::Matrix& features,
+                              const std::vector<int>& labels) {
+  const std::vector<double> f = decision(features);
+  if (f.size() != labels.size())
+    throw std::invalid_argument("SvmClassifier::calibrate: size mismatch");
+  const std::size_t n = f.size();
+
+  // Target probabilities with Platt's smoothing priors.
+  std::size_t n_pos = 0;
+  for (int y : labels) n_pos += (y != 0);
+  const std::size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0)
+    throw std::invalid_argument(
+        "SvmClassifier::calibrate: need both classes");
+  const double hi = (static_cast<double>(n_pos) + 1.0) /
+                    (static_cast<double>(n_pos) + 2.0);
+  const double lo = 1.0 / (static_cast<double>(n_neg) + 2.0);
+  std::vector<double> target(n);
+  for (std::size_t i = 0; i < n; ++i) target[i] = labels[i] ? hi : lo;
+
+  // Newton iterations on the two-parameter cross-entropy (Lin et al. '07).
+  double a = 0.0;
+  double b = std::log((static_cast<double>(n_neg) + 1.0) /
+                      (static_cast<double>(n_pos) + 1.0));
+  const double sigma = 1e-12;  // Hessian ridge
+  for (int iter = 0; iter < 100; ++iter) {
+    double g_a = 0.0, g_b = 0.0, h_aa = sigma, h_ab = 0.0, h_bb = sigma;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = a * f[i] + b;
+      double p, q;  // p = P(y=1), q = 1 - p, computed stably
+      if (z >= 0) {
+        const double e = std::exp(-z);
+        p = e / (1.0 + e);
+        q = 1.0 / (1.0 + e);
+      } else {
+        const double e = std::exp(z);
+        p = 1.0 / (1.0 + e);
+        q = e / (1.0 + e);
+      }
+      const double d1 = target[i] - p;
+      g_a += f[i] * d1;
+      g_b += d1;
+      const double d2 = p * q;
+      h_aa += f[i] * f[i] * d2;
+      h_ab += f[i] * d2;
+      h_bb += d2;
+    }
+    if (std::abs(g_a) < 1e-8 && std::abs(g_b) < 1e-8) break;
+    // g = gradient of the NEGATIVE log-likelihood wrt (a, b); h is its
+    // (ridged) Hessian. Newton step: (a, b) -= H^{-1} g.
+    const double det = h_aa * h_bb - h_ab * h_ab;
+    const double da = (h_bb * g_a - h_ab * g_b) / det;
+    const double db = (h_aa * g_b - h_ab * g_a) / det;
+    a -= da;
+    b -= db;
+    if (std::abs(da) < 1e-10 && std::abs(db) < 1e-10) break;
+  }
+  platt_a_ = a;
+  platt_b_ = b;
+  calibrated_ = true;
+}
+
+void SvmClassifier::save(util::BinaryWriter& writer) const {
+  writer.tag("SVM0");
+  writer.f64(gamma_);
+  writer.f64(bias_);
+  writer.u64(support_.rows());
+  writer.u64(support_.cols());
+  writer.f64_vector(std::vector<double>(
+      support_.data(), support_.data() + support_.size()));
+  writer.f64_vector(alpha_y_);
+  writer.u64(trained_ ? 1 : 0);
+  writer.u64(calibrated_ ? 1 : 0);
+  writer.f64(platt_a_);
+  writer.f64(platt_b_);
+}
+
+SvmClassifier SvmClassifier::load(util::BinaryReader& reader) {
+  reader.expect_tag("SVM0");
+  SvmClassifier svm;
+  svm.gamma_ = reader.f64();
+  svm.bias_ = reader.f64();
+  const std::size_t rows = reader.u64();
+  const std::size_t cols = reader.u64();
+  const std::vector<double> flat = reader.f64_vector();
+  svm.alpha_y_ = reader.f64_vector();
+  if (flat.size() != rows * cols || svm.alpha_y_.size() != rows)
+    throw std::runtime_error("SvmClassifier::load: corrupted record");
+  svm.support_ = nn::Matrix(rows, cols);
+  std::copy(flat.begin(), flat.end(), svm.support_.data());
+  svm.trained_ = reader.u64() != 0;
+  svm.calibrated_ = reader.u64() != 0;
+  svm.platt_a_ = reader.f64();
+  svm.platt_b_ = reader.f64();
+  return svm;
+}
+
+}  // namespace fs::ml

@@ -1,0 +1,199 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fs::nn {
+
+double activate(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity: return x;
+    case Activation::kRelu: return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+  }
+  throw std::logic_error("activate: unknown activation");
+}
+
+namespace {
+/// Derivative with respect to pre-activation, given pre-activation `pre`.
+double activation_grad(Activation act, double pre) {
+  switch (act) {
+    case Activation::kIdentity: return 1.0;
+    case Activation::kRelu: return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-pre));
+      return s * (1.0 - s);
+    }
+    case Activation::kTanh: {
+      const double t = std::tanh(pre);
+      return 1.0 - t * t;
+    }
+  }
+  throw std::logic_error("activation_grad: unknown activation");
+}
+}  // namespace
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act,
+             util::Rng& rng)
+    : weights_(Matrix::he_init(out_dim, in_dim, rng)),
+      bias_(out_dim, 0.0),
+      activation_(act),
+      grad_weights_(out_dim, in_dim),
+      grad_bias_(out_dim, 0.0) {
+  if (in_dim == 0 || out_dim == 0)
+    throw std::invalid_argument("Dense: zero dimension");
+}
+
+Dense::Dense(Matrix weights, std::vector<double> bias, Activation act)
+    : weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      activation_(act),
+      grad_weights_(weights_.rows(), weights_.cols()),
+      grad_bias_(bias_.size(), 0.0) {
+  if (weights_.rows() != bias_.size())
+    throw std::invalid_argument("Dense: weights/bias shape mismatch");
+  if (weights_.rows() == 0 || weights_.cols() == 0)
+    throw std::invalid_argument("Dense: zero dimension");
+}
+
+void Dense::save(util::BinaryWriter& writer) const {
+  writer.tag("DNSE");
+  writer.u64(weights_.rows());
+  writer.u64(weights_.cols());
+  writer.u64(static_cast<std::uint64_t>(activation_));
+  std::vector<double> flat(weights_.data(),
+                           weights_.data() + weights_.size());
+  writer.f64_vector(flat);
+  writer.f64_vector(bias_);
+}
+
+Dense Dense::load(util::BinaryReader& reader) {
+  reader.expect_tag("DNSE");
+  const std::size_t rows = reader.u64();
+  const std::size_t cols = reader.u64();
+  const auto act = static_cast<Activation>(reader.u64());
+  const std::vector<double> flat = reader.f64_vector();
+  std::vector<double> bias = reader.f64_vector();
+  if (flat.size() != rows * cols || bias.size() != rows)
+    throw std::runtime_error("Dense::load: corrupted record");
+  Matrix weights(rows, cols);
+  std::copy(flat.begin(), flat.end(), weights.data());
+  return Dense(std::move(weights), std::move(bias), act);
+}
+
+Matrix Dense::forward(const Matrix& input) {
+  cached_input_ = input;
+  cached_pre_ = matmul_nt(input, weights_);
+  for (std::size_t r = 0; r < cached_pre_.rows(); ++r)
+    for (std::size_t c = 0; c < cached_pre_.cols(); ++c)
+      cached_pre_(r, c) += bias_[c];
+  Matrix out = cached_pre_;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = activate(activation_, out.data()[i]);
+  return out;
+}
+
+Matrix Dense::infer(const Matrix& input) const {
+  Matrix pre = matmul_nt(input, weights_);
+  for (std::size_t r = 0; r < pre.rows(); ++r)
+    for (std::size_t c = 0; c < pre.cols(); ++c) pre(r, c) += bias_[c];
+  for (std::size_t i = 0; i < pre.size(); ++i)
+    pre.data()[i] = activate(activation_, pre.data()[i]);
+  return pre;
+}
+
+Matrix Dense::backward(const Matrix& d_output) {
+  if (cached_pre_.rows() != d_output.rows() ||
+      cached_pre_.cols() != d_output.cols())
+    throw std::logic_error("Dense::backward: no matching forward cache");
+  // dPre = dOut ∘ act'(pre)
+  Matrix d_pre = d_output;
+  for (std::size_t i = 0; i < d_pre.size(); ++i)
+    d_pre.data()[i] *= activation_grad(activation_, cached_pre_.data()[i]);
+  // Accumulate parameter gradients.
+  grad_weights_ += matmul_tn(d_pre, cached_input_);
+  for (std::size_t r = 0; r < d_pre.rows(); ++r)
+    for (std::size_t c = 0; c < d_pre.cols(); ++c)
+      grad_bias_[c] += d_pre(r, c);
+  // dInput = dPre * W
+  return matmul_nn(d_pre, weights_);
+}
+
+void Dense::apply_gradients(double learning_rate) {
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    weights_.data()[i] -= learning_rate * grad_weights_.data()[i];
+  for (std::size_t c = 0; c < bias_.size(); ++c)
+    bias_[c] -= learning_rate * grad_bias_[c];
+  clear_gradients();
+}
+
+void Dense::clear_gradients() {
+  grad_weights_.fill(0.0);
+  grad_bias_.assign(grad_bias_.size(), 0.0);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden,
+         Activation output, util::Rng& rng) {
+  if (dims.size() < 2)
+    throw std::invalid_argument("Mlp: need at least input and output dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1], last ? output : hidden, rng);
+  }
+}
+
+Mlp::Mlp(std::vector<Dense> layers) : layers_(std::move(layers)) {
+  if (layers_.empty())
+    throw std::invalid_argument("Mlp: need at least one layer");
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i)
+    if (layers_[i].out_dim() != layers_[i + 1].in_dim())
+      throw std::invalid_argument("Mlp: layer dimension mismatch");
+}
+
+void Mlp::save(util::BinaryWriter& writer) const {
+  writer.tag("MLP0");
+  writer.u64(layers_.size());
+  for (const Dense& layer : layers_) layer.save(writer);
+}
+
+Mlp Mlp::load(util::BinaryReader& reader) {
+  reader.expect_tag("MLP0");
+  const std::size_t count = reader.u64();
+  if (count == 0 || count > 1024)
+    throw std::runtime_error("Mlp::load: implausible layer count");
+  std::vector<Dense> layers;
+  layers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) layers.push_back(Dense::load(reader));
+  return Mlp(std::move(layers));
+}
+
+Matrix Mlp::forward(const Matrix& input) {
+  Matrix current = input;
+  for (Dense& layer : layers_) current = layer.forward(current);
+  return current;
+}
+
+Matrix Mlp::infer(const Matrix& input) const {
+  Matrix current = input;
+  for (const Dense& layer : layers_) current = layer.infer(current);
+  return current;
+}
+
+Matrix Mlp::backward(const Matrix& d_output) {
+  Matrix current = d_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    current = it->backward(current);
+  return current;
+}
+
+void Mlp::apply_gradients(double learning_rate) {
+  for (Dense& layer : layers_) layer.apply_gradients(learning_rate);
+}
+
+void Mlp::clear_gradients() {
+  for (Dense& layer : layers_) layer.clear_gradients();
+}
+
+}  // namespace fs::nn

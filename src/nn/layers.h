@@ -1,0 +1,106 @@
+// Fully-connected layers and multi-layer perceptrons with explicit
+// gradient accumulation, so Algorithm 1's sequential two-loss update can be
+// expressed faithfully (compute both gradient sets at the forward point,
+// then apply).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/binary_io.h"
+
+namespace fs::nn {
+
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+/// Applies the activation / its derivative (as a function of the
+/// pre-activation for ReLU, of the output for sigmoid/tanh).
+double activate(Activation act, double x);
+
+/// One dense layer: y = act(W x + b), batched over matrix rows.
+class Dense {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim, Activation act,
+        util::Rng& rng);
+
+  /// Reconstructs a layer from trained parameters (deserialization).
+  Dense(Matrix weights, std::vector<double> bias, Activation act);
+
+  std::size_t in_dim() const { return weights_.cols(); }
+  std::size_t out_dim() const { return weights_.rows(); }
+  Activation activation() const { return activation_; }
+
+  /// Forward pass; caches input and pre-activations for backward().
+  Matrix forward(const Matrix& input);
+
+  /// Forward without caching (inference).
+  Matrix infer(const Matrix& input) const;
+
+  /// Accumulates weight/bias gradients from dL/d(output) and returns
+  /// dL/d(input). Requires a preceding forward() on the same batch.
+  Matrix backward(const Matrix& d_output);
+
+  /// SGD step with the accumulated gradients, then clears them.
+  void apply_gradients(double learning_rate);
+
+  /// Drops accumulated gradients without applying (used when a loss term
+  /// must not touch this layer).
+  void clear_gradients();
+
+  void save(util::BinaryWriter& writer) const;
+  static Dense load(util::BinaryReader& reader);
+
+  const Matrix& weights() const { return weights_; }
+  Matrix& mutable_weights() { return weights_; }
+  const std::vector<double>& bias() const { return bias_; }
+
+ private:
+  Matrix weights_;  // out_dim x in_dim
+  std::vector<double> bias_;
+  Activation activation_;
+
+  Matrix grad_weights_;
+  std::vector<double> grad_bias_;
+
+  // Forward caches.
+  Matrix cached_input_;
+  Matrix cached_pre_;  // pre-activation
+};
+
+/// A plain MLP: a stack of Dense layers trained with SGD.
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; `hidden` activation on all but the last
+  /// layer, `output` activation on the last.
+  Mlp(const std::vector<std::size_t>& dims, Activation hidden,
+      Activation output, util::Rng& rng);
+
+  /// Reconstructs a network from trained layers (deserialization).
+  explicit Mlp(std::vector<Dense> layers);
+
+  Matrix forward(const Matrix& input);
+  Matrix infer(const Matrix& input) const;
+
+  /// Backpropagates dL/d(output), accumulating gradients; returns
+  /// dL/d(input).
+  Matrix backward(const Matrix& d_output);
+
+  void apply_gradients(double learning_rate);
+  void clear_gradients();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  const Dense& layer(std::size_t i) const { return layers_.at(i); }
+  Dense& mutable_layer(std::size_t i) { return layers_.at(i); }
+
+  std::size_t in_dim() const { return layers_.front().in_dim(); }
+  std::size_t out_dim() const { return layers_.back().out_dim(); }
+
+  void save(util::BinaryWriter& writer) const;
+  static Mlp load(util::BinaryReader& reader);
+
+ private:
+  std::vector<Dense> layers_;
+};
+
+}  // namespace fs::nn

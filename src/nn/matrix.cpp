@@ -1,0 +1,124 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace fs::nn {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols())
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    std::memcpy(m.row(r), rows[r].data(), m.cols() * sizeof(double));
+  }
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::he_init(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(cols));
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = rng.normal(0.0, stddev);
+  return m;
+}
+
+void Matrix::set_row(std::size_t dst_row, const Matrix& src,
+                     std::size_t src_row) {
+  if (cols_ != src.cols_)
+    throw std::invalid_argument("Matrix::set_row: width mismatch");
+  std::memcpy(row(dst_row), src.row(src_row), cols_ * sizeof(double));
+}
+
+Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    out.set_row(i, *this, indices[i]);
+  return out;
+}
+
+double Matrix::squared_difference(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols())
+    throw std::invalid_argument("Matrix::squared_difference: shape mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x.data()[i] - y.data()[i];
+    total += d * d;
+  }
+  return total;
+}
+
+Matrix matmul_nn(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("matmul_nn: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j order: streams through b and c rows sequentially.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.row(i);
+    const double* arow = a.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("matmul_nt: inner dimension mismatch");
+  Matrix c(a.rows(), b.rows());
+  // Dot products of contiguous rows: ideal locality.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("matmul_tn: inner dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace fs::nn

@@ -1,0 +1,78 @@
+// Dense row-major matrix for the neural substrate.
+//
+// The repository trains small fully-connected networks (the paper's
+// supervised autoencoder and classifier); everything reduces to the three
+// GEMM variants below, implemented with cache-friendly loop orders. No BLAS
+// dependency — the evaluation environment is offline and single-core.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fs::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Gaussian init scaled for the given fan-in (He initialization; the
+  /// hidden activations are ReLU).
+  static Matrix he_init(std::size_t rows, std::size_t cols, util::Rng& rng);
+
+  /// Copies row `src_row` of `src` into row `dst_row` of *this.
+  void set_row(std::size_t dst_row, const Matrix& src, std::size_t src_row);
+
+  /// Extracts the given rows into a new matrix (mini-batch assembly).
+  Matrix gather_rows(const std::vector<std::size_t>& indices) const;
+
+  /// Frobenius-norm squared of the difference (reconstruction loss).
+  static double squared_difference(const Matrix& x, const Matrix& y);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Dimensions: (m x k) * (k x n) -> (m x n).
+Matrix matmul_nn(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Dimensions: (m x k) * (n x k) -> (m x n).
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B. Dimensions: (k x m) * (k x n) -> (m x n).
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+}  // namespace fs::nn

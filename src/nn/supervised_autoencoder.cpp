@@ -1,0 +1,193 @@
+#include "nn/supervised_autoencoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fs::nn {
+
+namespace {
+
+std::vector<std::size_t> decoder_dims(const std::vector<std::size_t>& enc) {
+  return {enc.rbegin(), enc.rend()};
+}
+
+std::vector<std::size_t> classifier_dims(const AutoencoderConfig& cfg) {
+  std::vector<std::size_t> dims;
+  dims.push_back(cfg.encoder_dims.back());
+  for (std::size_t h : cfg.classifier_hidden) dims.push_back(h);
+  dims.push_back(1);  // logit
+  return dims;
+}
+
+Mlp make_mlp(const std::vector<std::size_t>& dims, Activation output,
+             util::Rng& rng) {
+  return Mlp(dims, Activation::kRelu, output, rng);
+}
+
+}  // namespace
+
+SupervisedAutoencoder::SupervisedAutoencoder(const AutoencoderConfig& config)
+    : config_(config),
+      encoder_([&] {
+        if (config.encoder_dims.size() < 2)
+          throw std::invalid_argument(
+              "SupervisedAutoencoder: encoder_dims needs >= 2 entries");
+        util::Rng rng(config.seed);
+        return make_mlp(config.encoder_dims, Activation::kIdentity, rng);
+      }()),
+      decoder_([&] {
+        util::Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+        return make_mlp(decoder_dims(config.encoder_dims),
+                        Activation::kIdentity, rng);
+      }()),
+      classifier_([&] {
+        util::Rng rng(config.seed ^ 0xc2b2ae3d27d4eb4fULL);
+        return make_mlp(classifier_dims(config), Activation::kIdentity, rng);
+      }()) {}
+
+SupervisedAutoencoder::SupervisedAutoencoder(AutoencoderConfig config,
+                                             Mlp encoder, Mlp decoder,
+                                             Mlp classifier)
+    : config_(std::move(config)),
+      encoder_(std::move(encoder)),
+      decoder_(std::move(decoder)),
+      classifier_(std::move(classifier)) {}
+
+void SupervisedAutoencoder::save(util::BinaryWriter& writer) const {
+  writer.tag("SAE0");
+  writer.u64(config_.encoder_dims.size());
+  for (std::size_t d : config_.encoder_dims) writer.u64(d);
+  writer.u64(config_.classifier_hidden.size());
+  for (std::size_t d : config_.classifier_hidden) writer.u64(d);
+  writer.f64(config_.learning_rate);
+  writer.f64(config_.alpha);
+  writer.i64(config_.epochs);
+  writer.u64(config_.batch_size);
+  writer.u64(config_.seed);
+  writer.u64(config_.mean_reconstruction_loss ? 1 : 0);
+  encoder_.save(writer);
+  decoder_.save(writer);
+  classifier_.save(writer);
+}
+
+SupervisedAutoencoder SupervisedAutoencoder::load(
+    util::BinaryReader& reader) {
+  reader.expect_tag("SAE0");
+  AutoencoderConfig cfg;
+  cfg.encoder_dims.resize(reader.u64());
+  for (std::size_t& d : cfg.encoder_dims) d = reader.u64();
+  cfg.classifier_hidden.resize(reader.u64());
+  for (std::size_t& d : cfg.classifier_hidden) d = reader.u64();
+  cfg.learning_rate = reader.f64();
+  cfg.alpha = reader.f64();
+  cfg.epochs = static_cast<int>(reader.i64());
+  cfg.batch_size = reader.u64();
+  cfg.seed = reader.u64();
+  cfg.mean_reconstruction_loss = reader.u64() != 0;
+  Mlp encoder = Mlp::load(reader);
+  Mlp decoder = Mlp::load(reader);
+  Mlp classifier = Mlp::load(reader);
+  return SupervisedAutoencoder(std::move(cfg), std::move(encoder),
+                               std::move(decoder), std::move(classifier));
+}
+
+std::vector<EpochStats> SupervisedAutoencoder::train(
+    const Matrix& inputs, const std::vector<int>& labels) {
+  if (inputs.rows() != labels.size())
+    throw std::invalid_argument("train: inputs/labels size mismatch");
+  if (inputs.cols() != encoder_.in_dim())
+    throw std::invalid_argument("train: input width != encoder input dim");
+  if (inputs.rows() == 0)
+    throw std::invalid_argument("train: empty training set");
+
+  util::Rng shuffle_rng(config_.seed ^ 0xa5a5a5a5ULL);
+  std::vector<std::size_t> order(inputs.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<EpochStats> history;
+  const double elem_norm =
+      config_.mean_reconstruction_loss
+          ? 1.0 / static_cast<double>(inputs.cols())
+          : 1.0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    EpochStats stats;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      const std::vector<std::size_t> batch(order.begin() + start,
+                                           order.begin() + end);
+      const auto n = static_cast<double>(batch.size());
+
+      const Matrix x = inputs.gather_rows(batch);
+
+      // ---- Forward through all three networks. ----
+      const Matrix code = encoder_.forward(x);
+      const Matrix recon = decoder_.forward(code);
+      const Matrix logit = classifier_.forward(code);
+
+      // ---- L_auto step (Algorithm 1 lines 11-14): update A with beta. ----
+      Matrix d_recon = recon;
+      d_recon -= x;
+      stats.reconstruction_loss +=
+          Matrix::squared_difference(recon, x) / n * elem_norm;
+      d_recon *= 2.0 / n * elem_norm;
+      const Matrix d_code_auto = decoder_.backward(d_recon);
+      encoder_.backward(d_code_auto);
+      decoder_.apply_gradients(config_.learning_rate);
+      encoder_.apply_gradients(config_.learning_rate);
+
+      // ---- L_cla step for the classifier (lines 15-18). ----
+      // The head emits a logit; BCE-after-sigmoid gives the stable gradient
+      // (sigmoid(logit) - y) / n.
+      Matrix d_logit(logit.rows(), 1);
+      for (std::size_t r = 0; r < logit.rows(); ++r) {
+        const double p = 1.0 / (1.0 + std::exp(-logit(r, 0)));
+        const double y = static_cast<double>(labels[batch[r]]);
+        const double p_safe = std::clamp(p, 1e-12, 1.0 - 1e-12);
+        stats.classification_loss +=
+            -(y * std::log(p_safe) + (1.0 - y) * std::log(1.0 - p_safe)) / n;
+        d_logit(r, 0) = (p - y) / n;
+      }
+      const Matrix d_code_cla = classifier_.backward(d_logit);
+      classifier_.apply_gradients(config_.learning_rate);
+
+      // ---- L_cla step for the encoder with alpha*beta (lines 19-22). ----
+      encoder_.backward(d_code_cla);
+      encoder_.apply_gradients(config_.alpha * config_.learning_rate);
+
+      ++batches;
+    }
+
+    if (batches > 0) {
+      stats.reconstruction_loss /= static_cast<double>(batches);
+      stats.classification_loss /= static_cast<double>(batches);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+Matrix SupervisedAutoencoder::encode(const Matrix& inputs) const {
+  return encoder_.infer(inputs);
+}
+
+std::vector<double> SupervisedAutoencoder::predict_proba(
+    const Matrix& inputs) const {
+  const Matrix logits = classifier_.infer(encoder_.infer(inputs));
+  std::vector<double> probs(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r)
+    probs[r] = 1.0 / (1.0 + std::exp(-logits(r, 0)));
+  return probs;
+}
+
+Matrix SupervisedAutoencoder::reconstruct(const Matrix& inputs) const {
+  return decoder_.infer(encoder_.infer(inputs));
+}
+
+}  // namespace fs::nn

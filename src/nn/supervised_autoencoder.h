@@ -1,0 +1,85 @@
+// Supervised autoencoder (paper Section III-B.2/3, Algorithm 1).
+//
+// An encoder compresses a JOC into a d-dimensional presence-proximity
+// feature; a decoder reconstructs the input (L_auto); a classification head
+// on the code predicts friendship (L_cla). Training follows Algorithm 1's
+// sequential update scheme: per batch, the autoencoder takes a gradient step
+// on L_auto, the classifier head takes a step on L_cla, and the encoder
+// takes an additional alpha-scaled step on L_cla — so the code stays both
+// reconstructive and discriminative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fs::nn {
+
+struct AutoencoderConfig {
+  /// Encoder layer widths: {input, ..., d}. The decoder mirrors this in the
+  /// opposite orientation (paper Sec III-B.2). Must have >= 2 entries.
+  std::vector<std::size_t> encoder_dims;
+
+  /// Classifier head widths after the code layer: {h...}; the final logit
+  /// layer (width 1) is appended automatically.
+  std::vector<std::size_t> classifier_hidden = {32};
+
+  double learning_rate = 0.005;  // paper's beta
+  double alpha = 1.0;            // loss balance weight
+  int epochs = 20;               // paper's m
+  std::size_t batch_size = 16;   // paper's n
+  std::uint64_t seed = 7;
+
+  /// The paper's L_auto sums squared error over all cuboid cells; we use the
+  /// per-element mean instead so the gradient scale is independent of the
+  /// cuboid size (JOC dimensionality varies with sigma/tau). This changes
+  /// only the effective learning-rate ratio between the losses, not the
+  /// optimum.
+  bool mean_reconstruction_loss = true;
+};
+
+struct EpochStats {
+  double reconstruction_loss = 0.0;  // mean over batches
+  double classification_loss = 0.0;
+};
+
+/// Joint autoencoder + classifier (the paper's A and C).
+class SupervisedAutoencoder {
+ public:
+  explicit SupervisedAutoencoder(const AutoencoderConfig& config);
+
+  /// Trains on JOC rows `inputs` (one flattened cuboid per row) with binary
+  /// labels. Returns per-epoch losses.
+  std::vector<EpochStats> train(const Matrix& inputs,
+                                const std::vector<int>& labels);
+
+  /// Presence-proximity features: the code-layer output h^(R).
+  Matrix encode(const Matrix& inputs) const;
+
+  /// Classifier probability per row (sigmoid of the head's logit).
+  std::vector<double> predict_proba(const Matrix& inputs) const;
+
+  /// Reconstruction of the input through the full autoencoder.
+  Matrix reconstruct(const Matrix& inputs) const;
+
+  std::size_t input_dim() const { return encoder_.in_dim(); }
+  std::size_t code_dim() const { return encoder_.out_dim(); }
+
+  const AutoencoderConfig& config() const { return config_; }
+
+  /// Serializes the trained networks and config.
+  void save(util::BinaryWriter& writer) const;
+  static SupervisedAutoencoder load(util::BinaryReader& reader);
+
+ private:
+  SupervisedAutoencoder(AutoencoderConfig config, Mlp encoder, Mlp decoder,
+                        Mlp classifier);
+
+  AutoencoderConfig config_;
+  Mlp encoder_;
+  Mlp decoder_;
+  Mlp classifier_;  // code -> hidden -> logit
+};
+
+}  // namespace fs::nn

@@ -1,0 +1,95 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fs::util {
+
+void BinaryWriter::raw(const void* data, std::size_t bytes) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out_) throw std::runtime_error("BinaryWriter: write failed");
+}
+
+void BinaryWriter::tag(const char (&name)[5]) { raw(name, 4); }
+
+void BinaryWriter::u64(std::uint64_t value) { raw(&value, sizeof value); }
+void BinaryWriter::i64(std::int64_t value) { raw(&value, sizeof value); }
+void BinaryWriter::f64(double value) { raw(&value, sizeof value); }
+
+void BinaryWriter::str(const std::string& value) {
+  u64(value.size());
+  if (!value.empty()) raw(value.data(), value.size());
+}
+
+void BinaryWriter::f64_vector(const std::vector<double>& values) {
+  u64(values.size());
+  if (!values.empty()) raw(values.data(), values.size() * sizeof(double));
+}
+
+void BinaryWriter::i32_vector(const std::vector<int>& values) {
+  u64(values.size());
+  if (!values.empty()) raw(values.data(), values.size() * sizeof(int));
+}
+
+void BinaryReader::raw(void* data, std::size_t bytes) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in_.gcount()) != bytes)
+    throw std::runtime_error("BinaryReader: truncated stream");
+}
+
+void BinaryReader::expect_tag(const char (&name)[5]) {
+  char found[4];
+  raw(found, 4);
+  if (std::memcmp(found, name, 4) != 0)
+    throw std::runtime_error(std::string("BinaryReader: expected tag '") +
+                             name + "', found '" +
+                             std::string(found, 4) + "'");
+}
+
+std::uint64_t BinaryReader::u64() {
+  std::uint64_t value;
+  raw(&value, sizeof value);
+  return value;
+}
+
+std::int64_t BinaryReader::i64() {
+  std::int64_t value;
+  raw(&value, sizeof value);
+  return value;
+}
+
+double BinaryReader::f64() {
+  double value;
+  raw(&value, sizeof value);
+  return value;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t size = u64();
+  if (size > (1ull << 32))
+    throw std::runtime_error("BinaryReader: implausible string size");
+  std::string value(size, '\0');
+  if (size) raw(value.data(), size);
+  return value;
+}
+
+std::vector<double> BinaryReader::f64_vector() {
+  const std::uint64_t size = u64();
+  if (size > (1ull << 32))
+    throw std::runtime_error("BinaryReader: implausible vector size");
+  std::vector<double> values(size);
+  if (size) raw(values.data(), size * sizeof(double));
+  return values;
+}
+
+std::vector<int> BinaryReader::i32_vector() {
+  const std::uint64_t size = u64();
+  if (size > (1ull << 32))
+    throw std::runtime_error("BinaryReader: implausible vector size");
+  std::vector<int> values(size);
+  if (size) raw(values.data(), size * sizeof(int));
+  return values;
+}
+
+}  // namespace fs::util

@@ -1,0 +1,53 @@
+// Tagged little-endian binary serialization for trained models.
+//
+// The format is deliberately simple: every record starts with a 4-byte tag
+// so version/type mismatches fail loudly at the exact field, not as
+// corrupted numbers downstream. Host endianness is assumed (the project
+// targets a single machine; files are a cache, not an interchange format).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fs::util {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void tag(const char (&name)[5]);  // 4 chars + NUL
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);
+  void str(const std::string& value);
+  void f64_vector(const std::vector<double>& values);
+  void i32_vector(const std::vector<int>& values);
+
+ private:
+  void raw(const void* data, std::size_t bytes);
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  /// Reads 4 bytes and throws std::runtime_error on mismatch.
+  void expect_tag(const char (&name)[5]);
+
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_vector();
+  std::vector<int> i32_vector();
+
+ private:
+  void raw(void* data, std::size_t bytes);
+  std::istream& in_;
+};
+
+}  // namespace fs::util

@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace fs::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::fprintf(stderr, "[%8.2fs] %s %s\n", elapsed, level_tag(level),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace fs::util

@@ -1,0 +1,50 @@
+// Minimal leveled logger for experiment binaries.
+//
+// Benches and examples narrate progress through this logger; tests silence
+// it. Not thread-safe by design — all heavy code in this repo is
+// single-threaded (the evaluation machine has one core) and the logger keeps
+// zero state beyond the level.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  detail::log_line(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace fs::util

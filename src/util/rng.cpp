@@ -1,0 +1,96 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace fs::util {
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0)
+    throw std::invalid_argument("Rng::exponential: lambda must be > 0");
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+int Rng::power_law_int(double alpha, int cap) {
+  if (cap < 1) throw std::invalid_argument("Rng::power_law_int: cap < 1");
+  // Inverse-CDF sampling of the continuous Pareto on [1, cap], floored.
+  // alpha == 1 handled as the log-uniform limit case.
+  double u = uniform();
+  double x;
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(cap)));
+  } else {
+    double a = 1.0 - alpha;
+    double c = std::pow(static_cast<double>(cap), a);
+    x = std::pow(1.0 + u * (c - 1.0), 1.0 / a);
+  }
+  int v = static_cast<int>(x);
+  if (v < 1) v = 1;
+  if (v > cap) v = cap;
+  return v;
+}
+
+int Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  // Knuth's method; fine for the small means used in trace generation.
+  double l = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  if (k == 0) return {};
+  // For dense draws use a partial Fisher-Yates; for sparse draws, rejection.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    std::size_t candidate = index(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("Rng::weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("Rng::weighted_index: weights sum to zero");
+  double target = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // Numerical tail; target == total.
+}
+
+}  // namespace fs::util

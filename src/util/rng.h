@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components in this repository (world generation, sampling,
+// network initialization, SGD shuffling) draw from fs::util::Rng so that a
+// single seed reproduces an entire experiment end to end.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fs::util {
+
+/// splitmix64: used to expand a single 64-bit seed into stream state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Small, fast, and high quality; satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions
+/// when needed, though the member helpers below avoid libstdc++'s
+/// distribution objects for cross-platform reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedf00dULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_u64(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::next_u64: n must be > 0");
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = operator()();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = operator()();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(next_u64(n));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long long range(long long lo, long long hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+    return lo + static_cast<long long>(
+                    next_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached second variate dropped for
+  /// simplicity; generation cost is negligible at our scales).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Geometric-like power-law sample in [1, cap]: P(x) proportional to
+  /// x^(-alpha). Used for check-in counts per user (heavy-tailed, like real
+  /// LBSN activity distributions).
+  int power_law_int(double alpha, int cap);
+
+  /// Zero-truncated Poisson-ish small count sampler via inversion.
+  int poisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Weighted index draw; weights need not be normalized, must be >= 0 and
+  /// sum to a positive value.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child stream (for per-component determinism that
+  /// does not depend on call order elsewhere).
+  Rng fork() { return Rng(operator()()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace fs::util

@@ -1,0 +1,30 @@
+// Small string helpers used by loaders and report generation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs::util {
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Splits on any run of whitespace; drops empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Parses a double/long; throws std::invalid_argument with context on
+/// failure (loaders want loud failures, not silent zeros).
+double parse_double(std::string_view text);
+long long parse_int(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fs::util

@@ -1,0 +1,107 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::new_row() {
+  if (!rows_.empty() && rows_.back().size() != header_.size())
+    throw std::logic_error("Table: previous row incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  if (rows_.empty()) throw std::logic_error("Table: add before new_row");
+  if (rows_.back().size() >= header_.size())
+    throw std::logic_error("Table: row overflow");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+Table& Table::add(int value) { return add(std::to_string(value)); }
+Table& Table::add(long value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      oss << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    oss << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) oss << ',';
+      oss << csv_escape(cells[c]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n" << to_text() << std::flush;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  out << to_csv();
+}
+
+}  // namespace fs::util

@@ -1,0 +1,49 @@
+// Aligned-text table printing and CSV export.
+//
+// Every bench prints the paper's table/figure as a human-readable aligned
+// table on stdout and writes the same rows as CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fs::util {
+
+/// A simple column-oriented results table. Cells are strings; numeric
+/// convenience overloads format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begins a new row; subsequent add() calls fill it left to right.
+  Table& new_row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 4);
+  Table& add(int value);
+  Table& add(long value);
+  Table& add(std::size_t value);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders the table with padded columns and a rule under the header.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  /// Prints to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  /// Writes CSV to `path`, creating parent directories. Throws on failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fs::util

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "embed/skipgram.h"
+#include "embed/walks.h"
+
+namespace fs::embed {
+namespace {
+
+// ---------- WeightedGraph ----------
+
+TEST(WeightedGraph, AddWeightAccumulates) {
+  WeightedGraph g(3);
+  g.add_weight(0, 1, 1.0);
+  g.add_weight(0, 1, 2.0);
+  ASSERT_EQ(g.degree(0), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(g.neighbors(1)[0].weight, 3.0);  // symmetric
+}
+
+TEST(WeightedGraph, Validation) {
+  WeightedGraph g(2);
+  EXPECT_THROW(g.add_weight(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_weight(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_weight(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(WeightedGraph, WalkStopsAtDeadEnd) {
+  WeightedGraph g(3);
+  // 0 connected to 1 only via directed-ish setup is impossible (symmetric),
+  // so use an isolated start.
+  util::Rng rng(7);
+  const auto walk = g.random_walk(2, 10, rng);
+  EXPECT_EQ(walk, (std::vector<VocabId>{2}));
+}
+
+TEST(WeightedGraph, WalkHasRequestedLength) {
+  WeightedGraph g(4);
+  g.add_weight(0, 1, 1.0);
+  g.add_weight(1, 2, 1.0);
+  g.add_weight(2, 3, 1.0);
+  g.add_weight(3, 0, 1.0);
+  util::Rng rng(11);
+  const auto walk = g.random_walk(0, 15, rng);
+  EXPECT_EQ(walk.size(), 15u);
+  EXPECT_EQ(walk.front(), 0u);
+  // Every consecutive pair must be an edge.
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    bool found = false;
+    for (const auto& n : g.neighbors(walk[i])) found |= n.node == walk[i + 1];
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WeightedGraph, WalkFollowsWeights) {
+  // Node 0 has neighbors 1 (weight 99) and 2 (weight 1): the walk should
+  // visit 1 overwhelmingly more often.
+  WeightedGraph g(3);
+  g.add_weight(0, 1, 99.0);
+  g.add_weight(0, 2, 1.0);
+  util::Rng rng(13);
+  std::size_t to_heavy = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto walk = g.random_walk(0, 2, rng);
+    ASSERT_EQ(walk.size(), 2u);
+    to_heavy += walk[1] == 1;
+  }
+  EXPECT_GT(to_heavy, 1900u);
+}
+
+TEST(GenerateWalks, SkipsIsolatedAndCoversActive) {
+  WeightedGraph g(5);
+  g.add_weight(0, 1, 1.0);
+  g.add_weight(2, 3, 1.0);
+  // Node 4 is isolated.
+  util::Rng rng(17);
+  WalkConfig cfg;
+  cfg.walks_per_node = 3;
+  cfg.walk_length = 5;
+  const auto corpus = generate_walks(g, cfg, rng);
+  EXPECT_EQ(corpus.size(), 4u * 3u);  // 4 connected nodes x 3 walks
+  for (const auto& walk : corpus)
+    for (VocabId v : walk) EXPECT_NE(v, 4u);
+}
+
+// ---------- skip-gram ----------
+
+TEST(SkipGram, TwoCliquesSeparateInEmbeddingSpace) {
+  // Two 5-cliques joined by a single bridge: intra-clique similarity must
+  // exceed inter-clique similarity.
+  WeightedGraph g(10);
+  for (VocabId a = 0; a < 5; ++a)
+    for (VocabId b = a + 1; b < 5; ++b) g.add_weight(a, b, 1.0);
+  for (VocabId a = 5; a < 10; ++a)
+    for (VocabId b = a + 1; b < 10; ++b) g.add_weight(a, b, 1.0);
+  g.add_weight(4, 5, 0.2);  // weak bridge
+
+  util::Rng rng(19);
+  WalkConfig walk_cfg;
+  walk_cfg.walks_per_node = 20;
+  walk_cfg.walk_length = 10;
+  const auto corpus = generate_walks(g, walk_cfg, rng);
+
+  SkipGramConfig sg;
+  sg.dim = 16;
+  sg.epochs = 5;
+  sg.seed = 23;
+  const nn::Matrix emb = train_skipgram(corpus, 10, sg);
+
+  double intra = 0.0, inter = 0.0;
+  std::size_t intra_n = 0, inter_n = 0;
+  for (VocabId a = 0; a < 10; ++a)
+    for (VocabId b = a + 1; b < 10; ++b) {
+      const double sim = cosine_similarity(emb, a, b);
+      if ((a < 5) == (b < 5)) {
+        intra += sim;
+        ++intra_n;
+      } else {
+        inter += sim;
+        ++inter_n;
+      }
+    }
+  EXPECT_GT(intra / static_cast<double>(intra_n),
+            inter / static_cast<double>(inter_n) + 0.15);
+}
+
+TEST(SkipGram, EmbeddingShape) {
+  const std::vector<std::vector<VocabId>> corpus{{0, 1, 2, 1, 0}};
+  SkipGramConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 1;
+  const nn::Matrix emb = train_skipgram(corpus, 3, cfg);
+  EXPECT_EQ(emb.rows(), 3u);
+  EXPECT_EQ(emb.cols(), 8u);
+}
+
+TEST(SkipGram, Validation) {
+  SkipGramConfig cfg;
+  EXPECT_THROW(train_skipgram({}, 0, cfg), std::invalid_argument);
+  const std::vector<std::vector<VocabId>> bad{{0, 9}};
+  EXPECT_THROW(train_skipgram(bad, 3, cfg), std::out_of_range);
+}
+
+TEST(SkipGram, CosineOfZeroVectorIsZero) {
+  nn::Matrix emb(2, 4);
+  emb(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(cosine_similarity(emb, 0, 1), 0.0);
+}
+
+TEST(SkipGram, CosineOfIdenticalRowsIsOne) {
+  nn::Matrix emb(2, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    emb(0, c) = 1.0 + static_cast<double>(c);
+    emb(1, c) = emb(0, c);
+  }
+  EXPECT_NEAR(cosine_similarity(emb, 0, 1), 1.0, 1e-12);
+}
+
+TEST(SkipGram, Deterministic) {
+  WeightedGraph g(6);
+  for (VocabId v = 0; v < 5; ++v) g.add_weight(v, v + 1, 1.0);
+  util::Rng rng_a(29), rng_b(29);
+  WalkConfig wc;
+  const auto corpus_a = generate_walks(g, wc, rng_a);
+  const auto corpus_b = generate_walks(g, wc, rng_b);
+  SkipGramConfig sg;
+  sg.dim = 4;
+  const nn::Matrix ea = train_skipgram(corpus_a, 6, sg);
+  const nn::Matrix eb = train_skipgram(corpus_b, 6, sg);
+  for (std::size_t i = 0; i < ea.size(); ++i)
+    EXPECT_DOUBLE_EQ(ea.data()[i], eb.data()[i]);
+}
+
+}  // namespace
+}  // namespace fs::embed

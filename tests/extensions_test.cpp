@@ -1,0 +1,395 @@
+// Tests for the extension components: logistic regression, Platt
+// calibration, node2vec walks, extra link-prediction heuristics, argument
+// parsing, and the FriendGuard defense.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/defense.h"
+#include "data/synthetic.h"
+#include "embed/walks.h"
+#include "graph/generators.h"
+#include "graph/heuristics.h"
+#include "ml/logistic.h"
+#include "ml/svm.h"
+#include "util/args.h"
+
+namespace fs {
+namespace {
+
+// ---------- logistic regression ----------
+
+void blobs(nn::Matrix& x, std::vector<int>& y, std::size_t n,
+           util::Rng& rng) {
+  x = nn::Matrix(n, 3);
+  y.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t c = 0; c < 3; ++c)
+      x(i, c) = rng.normal(y[i] ? 1.2 : -1.2, 1.0);
+  }
+}
+
+TEST(Logistic, SeparatesBlobs) {
+  util::Rng rng(3);
+  nn::Matrix train_x, test_x;
+  std::vector<int> train_y, test_y;
+  blobs(train_x, train_y, 200, rng);
+  blobs(test_x, test_y, 100, rng);
+  ml::LogisticClassifier clf;
+  clf.fit(train_x, train_y);
+  const auto pred = clf.predict(test_x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    correct += pred[i] == test_y[i];
+  EXPECT_GT(correct, 85u);
+}
+
+TEST(Logistic, ProbaMatchesSigmoidOfDecision) {
+  util::Rng rng(5);
+  nn::Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 60, rng);
+  ml::LogisticClassifier clf;
+  clf.fit(x, y);
+  const auto d = clf.decision(x);
+  const auto p = clf.predict_proba(x);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_NEAR(p[i], 1.0 / (1.0 + std::exp(-d[i])), 1e-12);
+}
+
+TEST(Logistic, L2ShrinksWeights) {
+  util::Rng rng(7);
+  nn::Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 100, rng);
+  ml::LogisticConfig weak;
+  weak.l2 = 1e-6;
+  ml::LogisticConfig strong;
+  strong.l2 = 1.0;
+  ml::LogisticClassifier a(weak), b(strong);
+  a.fit(x, y);
+  b.fit(x, y);
+  double norm_a = 0.0, norm_b = 0.0;
+  for (double w : a.weights()) norm_a += w * w;
+  for (double w : b.weights()) norm_b += w * w;
+  EXPECT_LT(norm_b, norm_a);
+}
+
+TEST(Logistic, Validation) {
+  ml::LogisticConfig bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(ml::LogisticClassifier{bad}, std::invalid_argument);
+  ml::LogisticClassifier clf;
+  EXPECT_THROW(clf.fit(nn::Matrix(2, 2), {1}), std::invalid_argument);
+  EXPECT_THROW(clf.decision(nn::Matrix(1, 2)), std::logic_error);
+}
+
+// ---------- Platt calibration ----------
+
+TEST(Platt, CalibratedProbabilitiesAreOrderedAndInformative) {
+  util::Rng rng(11);
+  nn::Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 200, rng);
+  ml::SvmClassifier svm;
+  svm.fit(x, y);
+  svm.calibrate(x, y);
+  EXPECT_TRUE(svm.calibrated());
+  // Platt slope should be negative (higher decision -> higher P(y=1)).
+  EXPECT_LT(svm.platt_a(), 0.0);
+  const auto proba = svm.predict_proba(x);
+  // Mean probability of positives must exceed that of negatives clearly.
+  double pos = 0.0, neg = 0.0;
+  std::size_t npos = 0, nneg = 0;
+  for (std::size_t i = 0; i < proba.size(); ++i) {
+    if (y[i]) {
+      pos += proba[i];
+      ++npos;
+    } else {
+      neg += proba[i];
+      ++nneg;
+    }
+  }
+  EXPECT_GT(pos / npos, neg / nneg + 0.3);
+}
+
+TEST(Platt, CalibrationImprovesLogLoss) {
+  util::Rng rng(13);
+  nn::Matrix x, test_x;
+  std::vector<int> y, test_y;
+  blobs(x, y, 200, rng);
+  blobs(test_x, test_y, 100, rng);
+  ml::SvmClassifier svm;
+  svm.fit(x, y);
+  auto log_loss = [&](const std::vector<double>& p) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double q = std::clamp(p[i], 1e-9, 1.0 - 1e-9);
+      total += test_y[i] ? -std::log(q) : -std::log(1.0 - q);
+    }
+    return total / static_cast<double>(p.size());
+  };
+  const double before = log_loss(svm.predict_proba(test_x));
+  svm.calibrate(x, y);
+  const double after = log_loss(svm.predict_proba(test_x));
+  EXPECT_LE(after, before + 0.02);
+}
+
+TEST(Platt, RequiresBothClasses) {
+  util::Rng rng(17);
+  nn::Matrix x;
+  std::vector<int> y;
+  blobs(x, y, 40, rng);
+  ml::SvmClassifier svm;
+  svm.fit(x, y);
+  EXPECT_THROW(svm.calibrate(x, std::vector<int>(40, 1)),
+               std::invalid_argument);
+}
+
+// ---------- node2vec walks ----------
+
+TEST(Node2Vec, UnbiasedConfigMatchesPlainWalkStatistics) {
+  embed::WeightedGraph g(4);
+  g.add_weight(0, 1, 1.0);
+  g.add_weight(1, 2, 1.0);
+  g.add_weight(2, 3, 1.0);
+  g.add_weight(3, 0, 1.0);
+  embed::Node2VecConfig cfg;  // p = q = 1
+  cfg.walks.walks_per_node = 5;
+  cfg.walks.walk_length = 9;
+  util::Rng rng(19);
+  const auto corpus = generate_node2vec_walks(g, cfg, rng);
+  EXPECT_EQ(corpus.size(), 20u);
+  for (const auto& walk : corpus) EXPECT_EQ(walk.size(), 9u);
+}
+
+TEST(Node2Vec, LowPEncouragesBacktracking) {
+  // Path graph 0-1-2. From 1 (arrived from 0), low p should return to 0
+  // far more often than continue to 2.
+  embed::WeightedGraph g(3);
+  g.add_weight(0, 1, 1.0);
+  g.add_weight(1, 2, 1.0);
+  util::Rng rng(23);
+  embed::Node2VecConfig cfg;
+  cfg.p = 0.05;
+  cfg.q = 1.0;
+  cfg.walks.walks_per_node = 1;
+  cfg.walks.walk_length = 3;
+  std::size_t returns = 0, trials = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto corpus = generate_node2vec_walks(g, cfg, rng);
+    for (const auto& walk : corpus) {
+      if (walk.size() < 3 || walk[0] != 0) continue;
+      // walk: 0 -> 1 -> ?, the third vertex shows the bias.
+      ++trials;
+      returns += walk[2] == 0;
+    }
+  }
+  ASSERT_GT(trials, 100u);
+  EXPECT_GT(static_cast<double>(returns) / static_cast<double>(trials),
+            0.85);
+}
+
+TEST(Node2Vec, HighQKeepsWalksLocal) {
+  // Barbell-ish: two triangles joined by a bridge. q >> 1 penalizes
+  // leaving the current neighborhood, so cross-bridge transitions from a
+  // triangle should be rarer than with q = 1.
+  embed::WeightedGraph g(6);
+  g.add_weight(0, 1, 1.0);
+  g.add_weight(1, 2, 1.0);
+  g.add_weight(0, 2, 1.0);
+  g.add_weight(3, 4, 1.0);
+  g.add_weight(4, 5, 1.0);
+  g.add_weight(3, 5, 1.0);
+  g.add_weight(2, 3, 1.0);  // bridge
+  auto cross_rate = [&](double q) {
+    util::Rng rng(29);
+    embed::Node2VecConfig cfg;
+    cfg.q = q;
+    cfg.walks.walks_per_node = 50;
+    cfg.walks.walk_length = 10;
+    const auto corpus = generate_node2vec_walks(g, cfg, rng);
+    std::size_t cross = 0, steps = 0;
+    for (const auto& walk : corpus)
+      for (std::size_t i = 1; i + 1 < walk.size(); ++i) {
+        ++steps;
+        const bool was_left = walk[i] <= 2;
+        const bool now_left = walk[i + 1] <= 2;
+        cross += was_left != now_left;
+      }
+    return static_cast<double>(cross) / static_cast<double>(steps);
+  };
+  EXPECT_LT(cross_rate(8.0), cross_rate(1.0));
+}
+
+TEST(Node2Vec, RejectsBadParameters) {
+  embed::WeightedGraph g(2);
+  g.add_weight(0, 1, 1.0);
+  util::Rng rng(31);
+  embed::Node2VecConfig cfg;
+  cfg.p = 0.0;
+  EXPECT_THROW(generate_node2vec_walks(g, cfg, rng), std::invalid_argument);
+}
+
+TEST(WeightedGraphExtensions, HasEdge) {
+  embed::WeightedGraph g(3);
+  g.add_weight(0, 1, 1.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+// ---------- extra heuristics ----------
+
+TEST(Heuristics, ResourceAllocation) {
+  graph::Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);  // common neighbor 2, degree 2
+  g.add_edge(2, 4);  // degree(2) = 3
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);  // common neighbor 3, degree 2
+  EXPECT_NEAR(graph::resource_allocation_score(g, 0, 1),
+              1.0 / 3.0 + 1.0 / 2.0, 1e-12);
+}
+
+TEST(Heuristics, LocalPathIndex) {
+  // 0-2-1 gives one 2-path; 0-3-4-1 one 3-path.
+  graph::Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 1);
+  EXPECT_NEAR(graph::local_path_score(g, 0, 1, 0.1), 1.0 + 0.1 * 1.0,
+              1e-12);
+}
+
+// ---------- ArgParser ----------
+
+TEST(Args, ParsesOptionsFlagsAndPositionals) {
+  util::ArgParser args;
+  args.add_option("alpha", "1.0", "");
+  args.add_option("name", "x", "");
+  args.add_flag("verbose", "");
+  const char* argv[] = {"prog", "file1", "--alpha", "2.5",
+                        "--name=bob", "--verbose", "file2"};
+  args.parse(7, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha"), 2.5);
+  EXPECT_EQ(args.get("name"), "bob");
+  EXPECT_TRUE(args.get_flag("verbose"));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Args, DefaultsApplyWhenAbsent) {
+  util::ArgParser args;
+  args.add_option("k", "3", "");
+  args.add_flag("quiet", "");
+  const char* argv[] = {"prog"};
+  args.parse(1, argv);
+  EXPECT_EQ(args.get_int("k"), 3);
+  EXPECT_FALSE(args.get_flag("quiet"));
+}
+
+TEST(Args, RejectsUnknownAndMalformed) {
+  util::ArgParser args;
+  args.add_option("k", "3", "");
+  args.add_flag("quiet", "");
+  const char* unknown[] = {"prog", "--mystery", "1"};
+  EXPECT_THROW(args.parse(3, unknown), std::invalid_argument);
+  util::ArgParser args2;
+  args2.add_option("k", "3", "");
+  const char* missing[] = {"prog", "--k"};
+  EXPECT_THROW(args2.parse(2, missing), std::invalid_argument);
+  util::ArgParser args3;
+  args3.add_flag("quiet", "");
+  const char* flag_value[] = {"prog", "--quiet=1"};
+  EXPECT_THROW(args3.parse(2, flag_value), std::invalid_argument);
+}
+
+// ---------- FriendGuard defense ----------
+
+data::SyntheticWorldConfig guard_world() {
+  data::SyntheticWorldConfig cfg;
+  cfg.user_count = 140;
+  cfg.poi_count = 350;
+  cfg.city_count = 3;
+  cfg.weeks = 6;
+  cfg.seed = 123;
+  return cfg;
+}
+
+TEST(FriendGuard, RespectsBudgetAndPreservesCounts) {
+  const auto world = data::generate_world(guard_world());
+  const geo::QuadtreeDivision division(world.dataset.poi_coordinates(), 60);
+  data::FriendGuardConfig cfg;
+  cfg.budget = 0.25;
+  const data::Dataset protected_ds =
+      data::friend_guard(world.dataset, division, cfg);
+  EXPECT_EQ(protected_ds.checkin_count(), world.dataset.checkin_count());
+  EXPECT_EQ(protected_ds.user_count(), world.dataset.user_count());
+
+  // No more than budget fraction of records perturbed.
+  std::multiset<std::tuple<data::UserId, data::PoiId, geo::Timestamp>>
+      originals;
+  for (const auto& c : world.dataset.checkins())
+    originals.insert({c.user, c.poi, c.time});
+  std::size_t unchanged = 0;
+  for (const auto& c : protected_ds.checkins()) {
+    auto it = originals.find({c.user, c.poi, c.time});
+    if (it != originals.end()) {
+      originals.erase(it);
+      ++unchanged;
+    }
+  }
+  const double perturbed =
+      1.0 - static_cast<double>(unchanged) /
+                static_cast<double>(world.dataset.checkin_count());
+  EXPECT_LE(perturbed, 0.26);
+}
+
+TEST(FriendGuard, ZeroBudgetIsIdentity) {
+  const auto world = data::generate_world(guard_world());
+  const geo::QuadtreeDivision division(world.dataset.poi_coordinates(), 60);
+  data::FriendGuardConfig cfg;
+  cfg.budget = 0.0;
+  const data::Dataset protected_ds =
+      data::friend_guard(world.dataset, division, cfg);
+  for (std::size_t i = 0; i < world.dataset.checkins().size(); ++i) {
+    EXPECT_EQ(protected_ds.checkins()[i].poi,
+              world.dataset.checkins()[i].poi);
+    EXPECT_EQ(protected_ds.checkins()[i].time,
+              world.dataset.checkins()[i].time);
+  }
+}
+
+TEST(FriendGuard, EvidenceScoresTargetCoOccurrences) {
+  // Two users meeting at a rare POI must out-score a lone check-in.
+  std::vector<data::Poi> pois{{{0.0, 0.0}, 0}, {{1.0, 1.0}, 0}};
+  std::vector<data::CheckIn> checkins{
+      {0, 0, 1000, {0.0, 0.0}},   // meeting at rare POI
+      {1, 0, 2000, {0.0, 0.0}},   // meeting at rare POI
+      {2, 1, 5000, {1.0, 1.0}},   // lone visit
+  };
+  graph::Graph g(3);
+  const auto ds = data::Dataset::build(3, std::move(pois),
+                                       std::move(checkins), g);
+  const auto scores = data::checkin_evidence_scores(ds, {});
+  // The dataset is re-sorted by (user, time); user 2's record is last.
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST(FriendGuard, RejectsBadBudget) {
+  const auto world = data::generate_world(guard_world());
+  const geo::QuadtreeDivision division(world.dataset.poi_coordinates(), 60);
+  data::FriendGuardConfig cfg;
+  cfg.budget = 1.5;
+  EXPECT_THROW(data::friend_guard(world.dataset, division, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fs

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "geo/latlng.h"
+#include "geo/quadtree.h"
+#include "geo/spatial_division.h"
+#include "geo/time_slots.h"
+#include "util/rng.h"
+
+namespace fs::geo {
+namespace {
+
+// ---------- distances ----------
+
+TEST(LatLng, HaversineOneDegreeLatitude) {
+  // One degree of latitude is ~111.2 km everywhere.
+  const double d = haversine_m({10.0, 20.0}, {11.0, 20.0});
+  EXPECT_NEAR(d, 111195.0, 200.0);
+}
+
+TEST(LatLng, HaversineZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(haversine_m({42.0, -71.0}, {42.0, -71.0}), 0.0);
+}
+
+TEST(LatLng, HaversineSymmetric) {
+  const LatLng a{31.2, 121.5}, b{39.9, 116.4};  // Shanghai <-> Beijing
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));
+  EXPECT_NEAR(haversine_m(a, b), 1068000.0, 5000.0);
+}
+
+TEST(LatLng, EquirectangularMatchesHaversineLocally) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng a{rng.uniform(-60, 60), rng.uniform(-170, 170)};
+    const LatLng b{a.lat + rng.uniform(-0.2, 0.2),
+                   a.lng + rng.uniform(-0.2, 0.2)};
+    const double h = haversine_m(a, b);
+    const double e = equirectangular_m(a, b);
+    EXPECT_NEAR(e, h, std::max(1.0, h * 0.01));
+  }
+}
+
+// ---------- bounding box ----------
+
+TEST(BoundingBox, ContainsIsHalfOpen) {
+  const BoundingBox box{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({0.5, 0.999}));
+  EXPECT_FALSE(box.contains({1.0, 0.5}));
+  EXPECT_FALSE(box.contains({0.5, 1.0}));
+  EXPECT_FALSE(box.contains({-0.1, 0.5}));
+}
+
+TEST(BoundingBox, AroundCoversAllPoints) {
+  util::Rng rng(11);
+  std::vector<LatLng> pts;
+  for (int i = 0; i < 100; ++i)
+    pts.push_back({rng.uniform(-5, 5), rng.uniform(30, 40)});
+  const BoundingBox box = BoundingBox::around(
+      pts.begin(), pts.end(), [](const LatLng& p) { return p; });
+  for (const LatLng& p : pts) EXPECT_TRUE(box.contains(p));
+}
+
+TEST(BoundingBox, AroundRejectsEmptyRange) {
+  std::vector<LatLng> empty;
+  EXPECT_THROW(BoundingBox::around(empty.begin(), empty.end(),
+                                   [](const LatLng& p) { return p; }),
+               std::invalid_argument);
+}
+
+TEST(BoundingBox, CenterIsMidpoint) {
+  const BoundingBox box{{0.0, 2.0}, {4.0, 6.0}};
+  EXPECT_DOUBLE_EQ(box.center().lat, 2.0);
+  EXPECT_DOUBLE_EQ(box.center().lng, 4.0);
+}
+
+// ---------- quadtree ----------
+
+std::vector<LatLng> clustered_pois(std::size_t n, util::Rng& rng) {
+  std::vector<LatLng> pois;
+  const LatLng centers[3] = {{1.0, 1.0}, {5.0, 5.0}, {2.0, 7.0}};
+  for (std::size_t i = 0; i < n; ++i) {
+    const LatLng& c = centers[i % 3];
+    pois.push_back({rng.normal(c.lat, 0.1), rng.normal(c.lng, 0.1)});
+  }
+  return pois;
+}
+
+TEST(Quadtree, RespectsSigma) {
+  util::Rng rng(13);
+  const auto pois = clustered_pois(500, rng);
+  const QuadtreeDivision division(pois, 50);
+  for (std::size_t cell = 0; cell < division.cell_count(); ++cell)
+    EXPECT_LE(division.cell_pois(cell).size(), 50u);
+}
+
+TEST(Quadtree, SingleLeafWhenSigmaLarge) {
+  util::Rng rng(17);
+  const auto pois = clustered_pois(100, rng);
+  const QuadtreeDivision division(pois, 1000);
+  EXPECT_EQ(division.cell_count(), 1u);
+  EXPECT_EQ(division.depth(), 0);
+}
+
+TEST(Quadtree, EveryPoiAssignedToExactlyOneLeaf) {
+  util::Rng rng(19);
+  const auto pois = clustered_pois(300, rng);
+  const QuadtreeDivision division(pois, 40);
+  std::size_t total = 0;
+  for (std::size_t cell = 0; cell < division.cell_count(); ++cell)
+    total += division.cell_pois(cell).size();
+  EXPECT_EQ(total, pois.size());
+}
+
+TEST(Quadtree, CellOfPoiMatchesCellOfCoordinate) {
+  util::Rng rng(23);
+  const auto pois = clustered_pois(300, rng);
+  const QuadtreeDivision division(pois, 30);
+  for (std::size_t i = 0; i < pois.size(); ++i)
+    EXPECT_EQ(division.cell_of(pois[i]), division.cell_of_poi(i));
+}
+
+TEST(Quadtree, CellBoxContainsItsPois) {
+  util::Rng rng(29);
+  const auto pois = clustered_pois(200, rng);
+  const QuadtreeDivision division(pois, 25);
+  for (std::size_t cell = 0; cell < division.cell_count(); ++cell)
+    for (std::uint32_t poi : division.cell_pois(cell))
+      EXPECT_TRUE(division.cell_box(cell).contains(pois[poi]));
+}
+
+TEST(Quadtree, OutOfBoundsPointsClampToBoundary) {
+  util::Rng rng(31);
+  const auto pois = clustered_pois(100, rng);
+  const QuadtreeDivision division(pois, 20);
+  // Far-away points must still resolve to a valid cell.
+  EXPECT_LT(division.cell_of({89.0, 179.0}), division.cell_count());
+  EXPECT_LT(division.cell_of({-89.0, -179.0}), division.cell_count());
+}
+
+TEST(Quadtree, DenseAreasGetMoreCells) {
+  util::Rng rng(37);
+  std::vector<LatLng> pois;
+  // 90% of POIs in a tight cluster, 10% spread out.
+  for (int i = 0; i < 900; ++i)
+    pois.push_back({rng.normal(1.0, 0.05), rng.normal(1.0, 0.05)});
+  for (int i = 0; i < 100; ++i)
+    pois.push_back({rng.uniform(0.0, 8.0), rng.uniform(0.0, 8.0)});
+  const QuadtreeDivision division(pois, 100);
+  // Count cells whose center lies within the dense cluster vs outside.
+  std::size_t dense_cells = 0;
+  for (std::size_t cell = 0; cell < division.cell_count(); ++cell) {
+    const LatLng c = division.cell_box(cell).center();
+    if (std::abs(c.lat - 1.0) < 0.5 && std::abs(c.lng - 1.0) < 0.5)
+      ++dense_cells;
+  }
+  EXPECT_GT(dense_cells, division.cell_count() / 4);
+}
+
+TEST(Quadtree, NeighborCellsAreDistinctAndValid) {
+  util::Rng rng(41);
+  const auto pois = clustered_pois(400, rng);
+  const QuadtreeDivision division(pois, 40);
+  for (std::size_t cell = 0; cell < division.cell_count(); ++cell) {
+    const auto neighbors = division.neighbor_cells(cell);
+    for (std::size_t n : neighbors) {
+      EXPECT_NE(n, cell);
+      EXPECT_LT(n, division.cell_count());
+    }
+  }
+}
+
+TEST(Quadtree, MaxDepthGuardsDegeneratePois) {
+  // All POIs at the same coordinate can never split below sigma.
+  std::vector<LatLng> pois(100, LatLng{1.0, 1.0});
+  const QuadtreeDivision division(pois, 10, /*max_depth=*/5);
+  EXPECT_LE(division.depth(), 5);
+  EXPECT_GE(division.cell_count(), 1u);
+}
+
+TEST(Quadtree, RejectsBadArguments) {
+  std::vector<LatLng> empty;
+  EXPECT_THROW(QuadtreeDivision(empty, 10), std::invalid_argument);
+  std::vector<LatLng> one{{0, 0}};
+  EXPECT_THROW(QuadtreeDivision(one, 0), std::invalid_argument);
+}
+
+// ---------- uniform grid ----------
+
+TEST(UniformGrid, CellCountAndBounds) {
+  util::Rng rng(43);
+  const auto pois = clustered_pois(100, rng);
+  const UniformGridDivision grid(pois, 4, 5);
+  EXPECT_EQ(grid.cell_count(), 20u);
+  for (const LatLng& p : pois) EXPECT_LT(grid.cell_of(p), 20u);
+}
+
+TEST(UniformGrid, CornersMapToCornerCells) {
+  std::vector<LatLng> pois{{0.0, 0.0}, {1.0, 1.0}};
+  const UniformGridDivision grid(pois, 2, 2);
+  EXPECT_EQ(grid.cell_of({0.0, 0.0}), 0u);
+  EXPECT_EQ(grid.cell_of({0.999, 0.999}), 3u);
+}
+
+// ---------- SpatialDivision views ----------
+
+TEST(SpatialDivisionView, AdaptersForwardCalls) {
+  util::Rng rng(47);
+  const auto pois = clustered_pois(120, rng);
+  const QuadtreeDivision qt(pois, 30);
+  const UniformGridDivision ug(pois, 3, 3);
+  const QuadtreeDivisionView qt_view(qt);
+  const UniformGridDivisionView ug_view(ug);
+  EXPECT_EQ(qt_view.cell_count(), qt.cell_count());
+  EXPECT_EQ(ug_view.cell_count(), ug.cell_count());
+  EXPECT_EQ(qt_view.cell_of(pois[0]), qt.cell_of(pois[0]));
+  EXPECT_EQ(ug_view.cell_of(pois[0]), ug.cell_of(pois[0]));
+}
+
+// ---------- time slots ----------
+
+TEST(TimeSlotting, SlotCountRoundsUp) {
+  const TimeSlotting slots(0, 100, 30);
+  EXPECT_EQ(slots.slot_count(), 4u);
+}
+
+TEST(TimeSlotting, SlotOfBasics) {
+  const TimeSlotting slots(0, 7 * kSecondsPerDay, kSecondsPerDay);
+  EXPECT_EQ(slots.slot_count(), 7u);
+  EXPECT_EQ(slots.slot_of(0), 0u);
+  EXPECT_EQ(slots.slot_of(kSecondsPerDay - 1), 0u);
+  EXPECT_EQ(slots.slot_of(kSecondsPerDay), 1u);
+  EXPECT_EQ(slots.slot_of(6 * kSecondsPerDay + 5), 6u);
+}
+
+TEST(TimeSlotting, OutOfWindowClamps) {
+  const TimeSlotting slots(100, 200, 10);
+  EXPECT_EQ(slots.slot_of(50), 0u);
+  EXPECT_EQ(slots.slot_of(999), slots.slot_count() - 1);
+}
+
+TEST(TimeSlotting, RejectsBadWindows) {
+  EXPECT_THROW(TimeSlotting(10, 10, 5), std::invalid_argument);
+  EXPECT_THROW(TimeSlotting(0, 10, 0), std::invalid_argument);
+}
+
+struct TauCase {
+  geo::Timestamp window_days;
+  geo::Timestamp tau_days;
+};
+
+class TimeSlottingSweep : public ::testing::TestWithParam<TauCase> {};
+
+TEST_P(TimeSlottingSweep, EveryTimestampLandsInAValidSlot) {
+  const auto [window_days, tau_days] = GetParam();
+  const TimeSlotting slots(0, window_days * kSecondsPerDay,
+                           tau_days * kSecondsPerDay);
+  util::Rng rng(53);
+  for (int i = 0; i < 500; ++i) {
+    const auto t = static_cast<Timestamp>(
+        rng.index(static_cast<std::size_t>(window_days * kSecondsPerDay)));
+    EXPECT_LT(slots.slot_of(t), slots.slot_count());
+  }
+  // Slots partition the window: slot i starts exactly where i-1 ends.
+  for (std::size_t s = 0; s + 1 < slots.slot_count(); ++s) {
+    const auto boundary =
+        static_cast<Timestamp>((s + 1)) * tau_days * kSecondsPerDay;
+    EXPECT_EQ(slots.slot_of(boundary - 1), s);
+    EXPECT_EQ(slots.slot_of(boundary), s + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, TimeSlottingSweep,
+                         ::testing::Values(TauCase{84, 1}, TauCase{84, 7},
+                                           TauCase{84, 14}, TauCase{84, 28},
+                                           TauCase{85, 7}, TauCase{90, 60}));
+
+}  // namespace
+}  // namespace fs::geo

@@ -1,0 +1,236 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// hyperparameter ranges, not just at defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/joc.h"
+#include "data/obfuscation.h"
+#include "data/synthetic.h"
+#include "geo/quadtree.h"
+#include "graph/generators.h"
+#include "graph/khop.h"
+#include "graph/metrics.h"
+#include "ml/knn.h"
+#include "ml/svm.h"
+
+namespace fs {
+namespace {
+
+// ---------- quadtree invariants across sigma ----------
+
+class QuadtreeSigmaSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuadtreeSigmaSweep, PartitionInvariants) {
+  util::Rng rng(5);
+  std::vector<geo::LatLng> pois;
+  for (int i = 0; i < 400; ++i)
+    pois.push_back({rng.normal(0.0, 1.0), rng.normal(10.0, 2.0)});
+  const std::size_t sigma = GetParam();
+  const geo::QuadtreeDivision division(pois, sigma);
+
+  // Every leaf respects sigma (no degenerate coordinates here).
+  std::size_t total = 0;
+  for (std::size_t cell = 0; cell < division.cell_count(); ++cell) {
+    EXPECT_LE(division.cell_pois(cell).size(), sigma);
+    total += division.cell_pois(cell).size();
+  }
+  // Leaves partition the POI set.
+  EXPECT_EQ(total, pois.size());
+  // Lookup agrees with construction for every POI.
+  for (std::size_t i = 0; i < pois.size(); ++i)
+    EXPECT_EQ(division.cell_of(pois[i]), division.cell_of_poi(i));
+  // Larger sigma never yields more cells than smaller sigma would; checked
+  // against the next-coarser division.
+  const geo::QuadtreeDivision coarser(pois, sigma * 2);
+  EXPECT_LE(coarser.cell_count(), division.cell_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, QuadtreeSigmaSweep,
+                         ::testing::Values(10, 25, 50, 100, 200, 400));
+
+// ---------- k-hop theorem properties across k ----------
+
+class KHopKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KHopKSweep, TheoremPropertiesHoldForAllK) {
+  util::Rng rng(7);
+  const int k = GetParam();
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::Graph g = graph::watts_strogatz(40, 4, 0.3, rng);
+    const auto a = static_cast<graph::NodeId>(rng.index(40));
+    const auto b = static_cast<graph::NodeId>((a + 1 + rng.index(38)) % 40);
+    graph::KHopOptions options;
+    options.k = k;
+    const auto sub = graph::extract_khop_subgraph(g, a, b, options);
+    // Paths bucketed by actual length; no edge shared across lengths.
+    std::set<graph::Edge> seen;
+    for (std::size_t bucket = 0; bucket < sub.paths_by_length.size();
+         ++bucket) {
+      std::set<graph::Edge> in_bucket;
+      for (const auto& path : sub.paths_by_length[bucket]) {
+        EXPECT_EQ(path.size(), bucket + 3);  // length = edges = bucket + 2
+        for (std::size_t i = 0; i + 1 < path.size(); ++i)
+          in_bucket.insert(graph::Edge(path[i], path[i + 1]));
+      }
+      for (const auto& e : in_bucket) {
+        EXPECT_FALSE(seen.count(e));
+        seen.insert(e);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KHopKSweep, ::testing::Values(2, 3, 4, 5, 6));
+
+// ---------- obfuscation ratio sweep on blurring ----------
+
+class BlurRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlurRatioSweep, BlurringPreservesVolumeAndOwnership) {
+  data::SyntheticWorldConfig cfg;
+  cfg.user_count = 90;
+  cfg.poi_count = 240;
+  cfg.city_count = 3;
+  cfg.weeks = 4;
+  cfg.seed = 33;
+  const auto world = data::generate_world(cfg);
+  const geo::QuadtreeDivision division(world.dataset.poi_coordinates(), 40);
+  util::Rng rng(11);
+  const double ratio = GetParam();
+  for (const data::Dataset& blurred :
+       {data::blur_in_grid(world.dataset, ratio, division, rng),
+        data::blur_cross_grid(world.dataset, ratio, division, rng)}) {
+    EXPECT_EQ(blurred.checkin_count(), world.dataset.checkin_count());
+    for (data::UserId u = 0; u < blurred.user_count(); ++u) {
+      ASSERT_EQ(blurred.checkin_count(u), world.dataset.checkin_count(u));
+      // Times are untouched by blurring.
+      const auto before = world.dataset.trajectory(u);
+      const auto after = blurred.trajectory(u);
+      for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_EQ(before[i].time, after[i].time);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, BlurRatioSweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 1.0));
+
+// ---------- JOC invariants under hiding ----------
+
+TEST(JocProperties, HidingNeverIncreasesCellMass) {
+  data::SyntheticWorldConfig cfg;
+  cfg.user_count = 80;
+  cfg.poi_count = 200;
+  cfg.city_count = 2;
+  cfg.weeks = 4;
+  cfg.seed = 21;
+  const auto world = data::generate_world(cfg);
+  util::Rng rng(13);
+  const data::Dataset hidden = data::hide_checkins(world.dataset, 0.4, rng);
+
+  const geo::QuadtreeDivision division(world.dataset.poi_coordinates(), 50);
+  const geo::QuadtreeDivisionView view(division);
+  const geo::TimeSlotting slots(world.dataset.window_begin(),
+                                world.dataset.window_end(),
+                                7 * geo::kSecondsPerDay);
+  const core::OccupancyIndex full(world.dataset, view, slots);
+  const core::OccupancyIndex less(hidden, view, slots);
+
+  core::JocOptions raw;
+  raw.log_scale = false;
+  std::vector<double> joc_full(full.joc_dim()), joc_less(less.joc_dim());
+  ASSERT_EQ(full.joc_dim(), less.joc_dim());
+  util::Rng pick(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a =
+        static_cast<data::UserId>(pick.index(world.dataset.user_count()));
+    const auto b =
+        static_cast<data::UserId>(pick.index(world.dataset.user_count()));
+    if (a == b) continue;
+    core::build_joc(full, a, b, joc_full.data(), raw);
+    core::build_joc(less, a, b, joc_less.data(), raw);
+    for (std::size_t i = 0; i < joc_full.size(); ++i)
+      EXPECT_LE(joc_less[i], joc_full[i] + 1e-12)
+          << "hiding increased a JOC cell";
+  }
+}
+
+// ---------- classifier monotonicity checks ----------
+
+class KnnKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnnKSweep, ProbabilitiesAreValidForAllK) {
+  util::Rng rng(19);
+  nn::Matrix x(60, 3);
+  std::vector<int> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t c = 0; c < 3; ++c)
+      x(i, c) = rng.normal(y[i] ? 1.0 : -1.0, 1.0);
+  }
+  ml::KnnClassifier knn(GetParam());
+  knn.fit(x, y);
+  for (double p : knn.predict_proba(x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // Probability is a multiple of 1/min(k, n).
+    const double unit = 1.0 / static_cast<double>(std::min<std::size_t>(
+                                  GetParam(), 60));
+    EXPECT_NEAR(std::round(p / unit) * unit, p, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnKSweep,
+                         ::testing::Values(1, 3, 5, 9, 15, 61));
+
+class SvmCSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmCSweep, TrainsAcrossBoxConstraints) {
+  util::Rng rng(23);
+  nn::Matrix x(80, 2);
+  std::vector<int> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    x(i, 0) = rng.normal(y[i] ? 1.5 : -1.5, 0.7);
+    x(i, 1) = rng.normal(0.0, 0.7);
+  }
+  ml::SvmConfig cfg;
+  cfg.c = GetParam();
+  ml::SvmClassifier svm(cfg);
+  svm.fit(x, y);
+  const auto pred = svm.predict(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) correct += pred[i] == y[i];
+  EXPECT_GT(correct, 70u) << "C=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cs, SvmCSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 5.0, 20.0));
+
+// ---------- graph metric properties ----------
+
+TEST(GraphProperties, EdgeChangeRatioIsSymmetricInDifference) {
+  util::Rng rng(29);
+  const graph::Graph a = graph::erdos_renyi(30, 0.2, rng);
+  graph::Graph b = a;
+  b.add_edge(0, 1) || b.remove_edge(0, 1);
+  // Self-comparison is exactly zero.
+  EXPECT_DOUBLE_EQ(graph::edge_change_ratio(a, a), 0.0);
+  // Adding exactly one edge to a copy changes the count by one.
+  graph::Graph c = a;
+  graph::NodeId u = 0, v = 0;
+  for (u = 0; u < 30 && v == 0; ++u)
+    for (graph::NodeId w = u + 1; w < 30; ++w)
+      if (!a.has_edge(u, w)) {
+        c.add_edge(u, w);
+        v = w;
+        break;
+      }
+  ASSERT_NE(v, 0u);
+  EXPECT_EQ(graph::Graph::edge_symmetric_difference(a, c), 1u);
+}
+
+}  // namespace
+}  // namespace fs

@@ -1,0 +1,243 @@
+// friendseeker — command-line driver for the whole toolkit.
+//
+//   friendseeker generate  --preset gowalla --out DIR [--users N ...]
+//   friendseeker stats     CHECKINS EDGES
+//   friendseeker attack    CHECKINS EDGES [--sigma S --tau D --dim D --k K]
+//   friendseeker obfuscate CHECKINS EDGES --mechanism M --ratio R --out DIR
+//
+// Mechanisms: hide | blur-in | blur-cross | friendguard.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "data/defense.h"
+#include "data/loader.h"
+#include "data/obfuscation.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace fs;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: friendseeker <command> [options]\n\n"
+      "commands:\n"
+      "  generate   synthesize an MSN world and write SNAP-format files\n"
+      "  stats      dataset statistics and co-presence census\n"
+      "  attack     run FriendSeeker (and baselines) on a dataset\n"
+      "  obfuscate  apply a countermeasure and write the perturbed dataset\n"
+      "\nrun 'friendseeker <command> --help' for command options\n");
+  return 2;
+}
+
+data::Dataset load_positional(const util::ArgParser& args) {
+  if (args.positional().size() < 2)
+    throw std::invalid_argument("expected: CHECKINS EDGES");
+  return data::load_checkins_snap(args.positional()[0],
+                                  args.positional()[1]);
+}
+
+int cmd_generate(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("preset", "gowalla", "world preset: gowalla | brightkite");
+  args.add_option("out", "world_out", "output directory");
+  args.add_option("users", "0", "override user count (0 = preset)");
+  args.add_option("pois", "0", "override POI count (0 = preset)");
+  args.add_option("weeks", "0", "override observation weeks (0 = preset)");
+  args.add_option("seed", "0", "override RNG seed (0 = preset)");
+  args.add_flag("help", "show options");
+  args.parse(argc, argv, 2);
+  if (args.get_flag("help")) {
+    std::fputs(args.help().c_str(), stderr);
+    return 0;
+  }
+
+  data::SyntheticWorldConfig cfg = args.get("preset") == "brightkite"
+                                       ? data::brightkite_like()
+                                       : data::gowalla_like();
+  if (args.get_int("users") > 0)
+    cfg.user_count = static_cast<std::size_t>(args.get_int("users"));
+  if (args.get_int("pois") > 0)
+    cfg.poi_count = static_cast<std::size_t>(args.get_int("pois"));
+  if (args.get_int("weeks") > 0)
+    cfg.weeks = static_cast<int>(args.get_int("weeks"));
+  if (args.get_int("seed") > 0)
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const data::SyntheticWorld world = data::generate_world(cfg);
+  const std::string dir = args.get("out");
+  std::filesystem::create_directories(dir);
+  data::save_checkins_snap(world.dataset, dir + "/checkins.txt",
+                           dir + "/edges.txt");
+  std::printf("wrote %s/checkins.txt (%zu records) and %s/edges.txt "
+              "(%zu links)\n",
+              dir.c_str(), world.dataset.checkin_count(), dir.c_str(),
+              world.dataset.friendships().edge_count());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_flag("help", "show options");
+  args.parse(argc, argv, 2);
+  if (args.get_flag("help")) {
+    std::fprintf(stderr, "usage: friendseeker stats CHECKINS EDGES\n");
+    return 0;
+  }
+  const data::Dataset ds = load_positional(args);
+  const data::DatasetStats s = data::dataset_stats(ds);
+  util::Table table({"pois", "users", "checkins", "checkins/user", "links"});
+  table.new_row()
+      .add(s.pois)
+      .add(s.users)
+      .add(s.checkins)
+      .add(s.mean_checkins_per_user, 1)
+      .add(s.links);
+  table.print("dataset statistics");
+
+  const eval::LabeledPairs pairs = eval::sample_candidate_pairs(ds);
+  std::vector<data::UserPair> friends, strangers;
+  for (std::size_t i = 0; i < pairs.pairs.size(); ++i)
+    (pairs.labels[i] ? friends : strangers).push_back(pairs.pairs[i]);
+  const auto census = data::co_presence_census(ds, friends, strangers);
+  util::Table census_table(
+      {"population", "CL&CF %", "CL only %", "CF only %", "neither %"});
+  census_table.new_row()
+      .add("friends")
+      .add(census.friends[1][1] * 100, 1)
+      .add(census.friends[1][0] * 100, 1)
+      .add(census.friends[0][1] * 100, 1)
+      .add(census.friends[0][0] * 100, 1);
+  census_table.new_row()
+      .add("non-friends")
+      .add(census.non_friends[1][1] * 100, 1)
+      .add(census.non_friends[1][0] * 100, 1)
+      .add(census.non_friends[0][1] * 100, 1)
+      .add(census.non_friends[0][0] * 100, 1);
+  census_table.print("co-presence census (balanced pair sample)");
+  return 0;
+}
+
+int cmd_attack(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("sigma", "0", "max POIs per grid (0 = poi_count / 8)");
+  args.add_option("tau", "7", "time-slot length in days");
+  args.add_option("dim", "64", "presence feature dimension d");
+  args.add_option("k", "3", "k-hop subgraph depth");
+  args.add_option("iterations", "6", "max refinement iterations");
+  args.add_flag("baselines", "also run the four baseline attacks");
+  args.add_flag("help", "show options");
+  args.parse(argc, argv, 2);
+  if (args.get_flag("help")) {
+    std::fprintf(stderr, "usage: friendseeker attack CHECKINS EDGES "
+                         "[options]\n%s",
+                 args.help().c_str());
+    return 0;
+  }
+  util::set_log_level(util::LogLevel::kInfo);
+  const data::Dataset ds = load_positional(args);
+  const eval::Experiment experiment =
+      eval::make_experiment(ds, args.positional()[0]);
+
+  core::FriendSeekerConfig cfg = eval::default_seeker_config();
+  cfg.sigma = args.get_int("sigma") > 0
+                  ? static_cast<std::size_t>(args.get_int("sigma"))
+                  : std::max<std::size_t>(40, ds.poi_count() / 8);
+  cfg.tau_days = args.get_double("tau");
+  cfg.presence.feature_dim = static_cast<std::size_t>(args.get_int("dim"));
+  cfg.k = static_cast<int>(args.get_int("k"));
+  cfg.max_iterations = static_cast<int>(args.get_int("iterations"));
+
+  util::Table table({"attack", "F1", "precision", "recall"});
+  auto record = [&](baselines::FriendshipAttack& attack) {
+    const ml::Prf prf = eval::run_attack(attack, experiment);
+    table.new_row()
+        .add(attack.name())
+        .add(prf.f1, 4)
+        .add(prf.precision, 4)
+        .add(prf.recall, 4);
+  };
+  eval::FriendSeekerAttack seeker(cfg);
+  record(seeker);
+  if (args.get_flag("baselines"))
+    for (const auto& baseline : eval::make_baselines()) record(*baseline);
+  table.print("attack results (70/30 pair split)");
+  return 0;
+}
+
+int cmd_obfuscate(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("mechanism", "hide",
+                  "hide | blur-in | blur-cross | friendguard");
+  args.add_option("ratio", "0.3", "perturbation budget in [0, 1]");
+  args.add_option("sigma", "0", "grid sigma for blurring (0 = poi/8)");
+  args.add_option("out", "obfuscated_out", "output directory");
+  args.add_option("seed", "7", "RNG seed");
+  args.add_flag("help", "show options");
+  args.parse(argc, argv, 2);
+  if (args.get_flag("help")) {
+    std::fprintf(stderr, "usage: friendseeker obfuscate CHECKINS EDGES "
+                         "[options]\n%s",
+                 args.help().c_str());
+    return 0;
+  }
+  const data::Dataset ds = load_positional(args);
+  const double ratio = args.get_double("ratio");
+  const std::size_t sigma =
+      args.get_int("sigma") > 0
+          ? static_cast<std::size_t>(args.get_int("sigma"))
+          : std::max<std::size_t>(40, ds.poi_count() / 8);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+
+  data::Dataset out = ds;
+  const std::string mechanism = args.get("mechanism");
+  if (mechanism == "hide") {
+    out = data::hide_checkins(ds, ratio, rng);
+  } else if (mechanism == "blur-in") {
+    const geo::QuadtreeDivision division(ds.poi_coordinates(), sigma);
+    out = data::blur_in_grid(ds, ratio, division, rng);
+  } else if (mechanism == "blur-cross") {
+    const geo::QuadtreeDivision division(ds.poi_coordinates(), sigma);
+    out = data::blur_cross_grid(ds, ratio, division, rng);
+  } else if (mechanism == "friendguard") {
+    const geo::QuadtreeDivision division(ds.poi_coordinates(), sigma);
+    data::FriendGuardConfig guard;
+    guard.budget = ratio;
+    guard.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    out = data::friend_guard(ds, division, guard);
+  } else {
+    throw std::invalid_argument("unknown mechanism '" + mechanism + "'");
+  }
+
+  const std::string dir = args.get("out");
+  std::filesystem::create_directories(dir);
+  data::save_checkins_snap(out, dir + "/checkins.txt", dir + "/edges.txt");
+  std::printf("%s at ratio %.2f: %zu -> %zu check-ins, written to %s/\n",
+              mechanism.c_str(), ratio, ds.checkin_count(),
+              out.checkin_count(), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "attack") return cmd_attack(argc, argv);
+    if (command == "obfuscate") return cmd_obfuscate(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "friendseeker %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
