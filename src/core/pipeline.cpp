@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "core/joc.h"
 #include "geo/spatial_division.h"
 #include "geo/time_slots.h"
@@ -48,6 +51,30 @@ graph::Graph graph_from_predictions(std::size_t user_count,
     if (predictions[i])
       g.add_edge(universe.pairs[i].first, universe.pairs[i].second);
   return g;
+}
+
+/// FNV-1a over the run parameters a checkpoint must agree on; a resume
+/// against a different dataset/config is rejected instead of mixed in.
+std::uint64_t run_fingerprint(const FriendSeekerConfig& config,
+                              const data::Dataset& dataset,
+                              std::size_t universe_size,
+                              std::size_t train_size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(dataset.user_count());
+  mix(dataset.checkin_count());
+  mix(universe_size);
+  mix(train_size);
+  mix(config.seed);
+  mix(static_cast<std::uint64_t>(config.k));
+  mix(config.sigma);
+  mix(static_cast<std::uint64_t>(config.tau_days * 1e6));
+  mix(config.presence.feature_dim);
+  mix(static_cast<std::uint64_t>(config.phase2_classifier));
+  return h;
 }
 
 }  // namespace
@@ -100,18 +127,80 @@ FriendSeekerResult FriendSeeker::run(
   const std::vector<std::size_t> train_rows = rows_of(train_pairs);
   const std::vector<std::size_t> test_rows = rows_of(test_pairs);
 
-  // ---- Phase 1: presence model. ----
+  FriendSeekerResult result;
+  util::Diagnostics& diagnostics = result.diagnostics;
+
+  // ---- Checkpoint/resume bookkeeping. ----
+  const std::string checkpoint_path =
+      config_.checkpoint_dir.empty()
+          ? std::string()
+          : config_.checkpoint_dir + "/checkpoint.fsck";
+  const std::uint64_t fingerprint = run_fingerprint(
+      config_, dataset, universe.pairs.size(), train_pairs.size());
+  if (!config_.checkpoint_dir.empty())
+    std::filesystem::create_directories(config_.checkpoint_dir);
+
+  std::optional<PipelineCheckpoint> resumed;
+  if (config_.resume && !checkpoint_path.empty() &&
+      !std::filesystem::exists(checkpoint_path)) {
+    diagnostics.report(util::Severity::kInfo, ErrorCode::kIo, "pipeline",
+                       "no checkpoint at " + checkpoint_path +
+                           "; starting fresh");
+  }
+  if (config_.resume && !checkpoint_path.empty() &&
+      std::filesystem::exists(checkpoint_path)) {
+    try {
+      PipelineCheckpoint cp = load_pipeline_checkpoint(checkpoint_path);
+      if (cp.fingerprint != fingerprint) {
+        diagnostics.report(util::Severity::kWarning,
+                           ErrorCode::kCorruptCheckpoint, "pipeline",
+                           "checkpoint fingerprint mismatch (different "
+                           "dataset or config); restarting from phase 1");
+      } else if (cp.predictions.size() != universe.pairs.size() ||
+                 cp.scores.size() != universe.pairs.size() ||
+                 !cp.presence.has_value() || !cp.presence->trained()) {
+        diagnostics.report(util::Severity::kWarning,
+                           ErrorCode::kCorruptCheckpoint, "pipeline",
+                           "checkpoint shape mismatch; restarting from "
+                           "phase 1");
+      } else {
+        resumed = std::move(cp);
+      }
+    } catch (const Error& e) {
+      diagnostics.report(util::Severity::kWarning,
+                         ErrorCode::kCorruptCheckpoint, "pipeline",
+                         std::string("cannot resume, restarting cleanly: ") +
+                             e.what());
+    }
+  }
+
+  // ---- Phase 1: presence model (trained, or restored from checkpoint). --
   PresenceModelConfig presence_cfg = config_.presence;
   presence_cfg.seed ^= config_.seed;
-  PresenceModel presence(presence_cfg);
-  util::Stopwatch phase1_timer;
-  presence.train(all_jocs.gather_rows(train_rows), train_labels);
-  util::log_debug("FriendSeeker: phase-1 training ", phase1_timer.seconds(),
-                  "s");
+  presence_cfg.diagnostics = &diagnostics;
+  std::optional<PresenceModel> presence_storage;
+  if (resumed.has_value()) {
+    presence_storage = std::move(*resumed->presence);
+    result.resumed_from_iteration = resumed->iteration;
+    diagnostics.report(util::Severity::kInfo, ErrorCode::kIo, "pipeline",
+                       "resumed from checkpoint at iteration " +
+                           std::to_string(resumed->iteration));
+  } else {
+    presence_storage.emplace(presence_cfg);
+    util::Stopwatch phase1_timer;
+    presence_storage->train(all_jocs.gather_rows(train_rows), train_labels);
+    util::log_debug("FriendSeeker: phase-1 training ",
+                    phase1_timer.seconds(), "s");
+  }
+  PresenceModel& presence = *presence_storage;
 
   const nn::Matrix embeddings = presence.encode(all_jocs);
   const std::vector<double> phase1_proba =
       presence.predict_proba_encoded(embeddings);
+  for (double p : phase1_proba)
+    if (!std::isfinite(p))
+      throw NumericError(
+          "FriendSeeker: phase-1 probabilities contain non-finite values");
 
   // The operating point is picked on the training split (every attack in
   // the evaluation does the same — the attacker maximizes train F1).
@@ -122,15 +211,24 @@ FriendSeekerResult FriendSeeker::run(
     return ml::tune_f1_threshold(train_scores, train_labels).threshold;
   };
 
-  // Phase 1 seeds the graph; a too-permissive cut floods G(0) with
-  // false edges that phase 2 then has to prune back (overshoot). The seed
-  // cut is therefore never below the KNN's natural majority threshold.
-  const double phase1_cut = std::max(tune_on_train(phase1_proba), 0.5);
-  std::vector<int> predictions(universe.pairs.size());
-  for (std::size_t i = 0; i < predictions.size(); ++i)
-    predictions[i] = phase1_proba[i] >= phase1_cut;
+  std::vector<int> predictions;
+  std::vector<double> scores;
+  int start_iteration = 1;
+  if (resumed.has_value()) {
+    predictions = std::move(resumed->predictions);
+    scores = std::move(resumed->scores);
+    start_iteration = resumed->iteration + 1;
+  } else {
+    // Phase 1 seeds the graph; a too-permissive cut floods G(0) with
+    // false edges that phase 2 then has to prune back (overshoot). The seed
+    // cut is therefore never below the KNN's natural majority threshold.
+    const double phase1_cut = std::max(tune_on_train(phase1_proba), 0.5);
+    predictions.resize(universe.pairs.size());
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+      predictions[i] = phase1_proba[i] >= phase1_cut;
+    scores = phase1_proba;
+  }
 
-  FriendSeekerResult result;
   auto record_iteration = [&](int iteration, double change,
                               const graph::Graph& g) {
     IterationRecord rec;
@@ -145,10 +243,30 @@ FriendSeekerResult FriendSeeker::run(
 
   graph::Graph current = graph_from_predictions(dataset.user_count(),
                                                 universe, predictions);
-  record_iteration(0, 1.0, current);
-  util::log_debug("FriendSeeker: phase-1 graph edges=", current.edge_count());
+  // Iteration 0 is the phase-1 graph; a resumed run's baseline is the
+  // checkpointed iteration instead (change 0: nothing moved since the save).
+  record_iteration(start_iteration - 1, resumed.has_value() ? 0.0 : 1.0,
+                   current);
+  util::log_debug("FriendSeeker: baseline graph edges=",
+                  current.edge_count());
 
-  std::vector<double> scores(phase1_proba);
+  auto save_checkpoint_if_configured = [&](int iteration) {
+    if (checkpoint_path.empty()) return;
+    PipelineCheckpoint cp;
+    cp.fingerprint = fingerprint;
+    cp.iteration = iteration;
+    cp.predictions = predictions;
+    cp.scores = scores;
+    cp.presence = presence;  // copy: the run keeps using the original
+    try {
+      save_pipeline_checkpoint(checkpoint_path, cp);
+    } catch (const Error& e) {
+      // A failed save never kills the run; it only costs resumability.
+      diagnostics.report(util::Severity::kWarning, ErrorCode::kIo,
+                         "pipeline",
+                         std::string("checkpoint save failed: ") + e.what());
+    }
+  };
 
   if (config_.iterate) {
     // ---- Phase 2: iterative hidden-friends inference. ----
@@ -172,9 +290,10 @@ FriendSeekerResult FriendSeeker::run(
     };
 
     util::Rng svm_rng(config_.seed ^ 0x5117ULL);
-    for (int iteration = 1; iteration <= config_.max_iterations;
-         ++iteration) {
+    for (int iteration = start_iteration;
+         iteration <= config_.max_iterations; ++iteration) {
       util::Stopwatch iter_timer;
+      try {
       // Composite features v = h ⊕ s for every candidate pair on the
       // current graph.
       nn::Matrix composite(universe.pairs.size(), composite_width);
@@ -226,6 +345,15 @@ FriendSeekerResult FriendSeeker::run(
         svm.fit(svm_train, svm_labels);
         decision = svm.decision(all_scaled);
       }
+      // All mutation of the working state (predictions/scores/graph)
+      // happens after this check, so a diverged classifier leaves the
+      // last-good iteration intact for the fallback below.
+      for (double v : decision)
+        if (!std::isfinite(v))
+          throw NumericError("FriendSeeker: non-finite decision scores at "
+                             "iteration " +
+                             std::to_string(iteration));
+
       const double cut = tune_on_train(decision);
       // Hysteresis: borderline pairs keep their previous state, so the
       // graph settles instead of oscillating around the cut.
@@ -257,11 +385,28 @@ FriendSeekerResult FriendSeeker::run(
       util::log_debug("FriendSeeker: iter=", iteration,
                       " edges=", current.edge_count(), " change=", change,
                       " (", iter_timer.seconds(), "s)");
+      save_checkpoint_if_configured(iteration);
       if (change < config_.convergence_threshold) {
         result.converged = true;
         break;
       }
+      } catch (const Error& e) {
+        if (e.code() != ErrorCode::kNumeric &&
+            e.code() != ErrorCode::kConvergence)
+          throw;
+        // Numeric divergence in phase 2 degrades gracefully: keep the
+        // last-good graph (possibly the phase-1 seed) instead of failing
+        // the whole attack.
+        diagnostics.report(util::Severity::kError, e.code(), "pipeline",
+                           "phase-2 iteration " + std::to_string(iteration) +
+                               " diverged, keeping last-good graph: " +
+                               e.what());
+        break;
+      }
     }
+    result.fell_back_to_phase1 =
+        result.iterations.size() == 1 &&
+        result.iterations.front().iteration == 0;
   }
 
   result.test_predictions.reserve(test_rows.size());

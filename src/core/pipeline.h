@@ -14,6 +14,7 @@
 #include "graph/graph.h"
 #include "ml/logistic.h"
 #include "ml/svm.h"
+#include "util/error.h"
 
 namespace fs::core {
 
@@ -54,6 +55,15 @@ struct FriendSeekerConfig {
   bool use_social_feature = true;  // false: heuristic structural features
   bool iterate = true;             // false: stop after phase 1
 
+  // ---- Fault tolerance ----
+  /// When non-empty, the working state is checkpointed into this directory
+  /// after every phase-2 iteration (file: checkpoint.fsck).
+  std::string checkpoint_dir;
+  /// Resume from the last valid checkpoint in checkpoint_dir. A corrupt or
+  /// mismatched checkpoint is reported into the result's diagnostics and
+  /// the run restarts cleanly from phase 1.
+  bool resume = false;
+
   std::uint64_t seed = 99;
 };
 
@@ -74,6 +84,14 @@ struct FriendSeekerResult {
   graph::Graph final_graph;
   int iterations_run = 0;
   bool converged = false;
+  /// True when phase 2 diverged (NaN/Inf training or scores) before
+  /// completing a single iteration and the result is the phase-1 graph.
+  bool fell_back_to_phase1 = false;
+  /// Last completed iteration restored from a checkpoint (0 = fresh run).
+  int resumed_from_iteration = 0;
+  /// Everything the run degraded on: quarantined records, divergence
+  /// retries, rejected checkpoints, fallbacks.
+  util::Diagnostics diagnostics;
 };
 
 /// One trained attack instance. `run` trains on the labeled pairs and

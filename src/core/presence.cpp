@@ -44,6 +44,7 @@ void PresenceModel::train(const nn::Matrix& jocs,
   ae.epochs = config_.epochs;
   ae.batch_size = config_.batch_size;
   ae.seed = config_.seed;
+  ae.diagnostics = config_.diagnostics;
   autoencoder_.emplace(ae);
 
   // "A small number of raw JOC samples" trains the autoencoder; subsample

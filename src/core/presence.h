@@ -38,6 +38,8 @@ struct PresenceModelConfig {
   /// Cap on KNN reference rows (query cost is linear in this).
   std::size_t max_knn_rows = 2500;
   std::uint64_t seed = 13;
+  /// Optional sink for autoencoder divergence reports (not serialized).
+  fs::util::Diagnostics* diagnostics = nullptr;
 };
 
 /// Builds the encoder layer widths for a given input size: repeated halving

@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
-#include <stdexcept>
+#include <sstream>
 #include <unordered_map>
 
+#include "util/error.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace fs::data {
@@ -24,99 +26,256 @@ long long days_from_civil(int y, unsigned m, unsigned d) {
          static_cast<long long>(doe) - 719468;
 }
 
+bool is_leap_year(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+unsigned days_in_month(int y, unsigned m) {
+  static constexpr unsigned kDays[12] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap_year(y)) return 29;
+  return kDays[m - 1];
+}
+
 }  // namespace
 
 geo::Timestamp parse_iso8601_utc(const std::string& text) {
   int y = 0;
   unsigned mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  int consumed = 0;
   // Accepts both "T...Z" and "space" separators.
-  if (std::sscanf(text.c_str(), "%d-%u-%u%*[T ]%u:%u:%u", &y, &mo, &d, &h,
-                  &mi, &s) != 6)
-    throw std::invalid_argument("parse_iso8601_utc: bad timestamp '" + text +
-                                "'");
-  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || s > 60)
-    throw std::invalid_argument("parse_iso8601_utc: out-of-range field in '" +
-                                text + "'");
+  if (std::sscanf(text.c_str(), "%d-%u-%u%*1[T ]%u:%u:%u%n", &y, &mo, &d, &h,
+                  &mi, &s, &consumed) != 6)
+    throw ParseError("parse_iso8601_utc: bad timestamp '" + text + "'");
+  if (mo < 1 || mo > 12 || h > 23 || mi > 59 || s > 60)
+    throw ParseError("parse_iso8601_utc: out-of-range field in '" + text +
+                     "'");
+  if (d < 1 || d > days_in_month(y, mo))
+    throw ParseError("parse_iso8601_utc: impossible calendar date in '" +
+                     text + "'");
+  // Only an optional 'Z' and trailing whitespace may follow the seconds;
+  // anything else is garbage masquerading as a timestamp.
+  std::size_t rest = static_cast<std::size_t>(consumed);
+  if (rest < text.size() && text[rest] == 'Z') ++rest;
+  if (!util::trim(std::string_view(text).substr(rest)).empty())
+    throw ParseError("parse_iso8601_utc: trailing garbage in '" + text + "'");
   return days_from_civil(y, mo, d) * geo::kSecondsPerDay +
          static_cast<geo::Timestamp>(h) * 3600 + mi * 60 + s;
 }
 
-Dataset load_checkins_snap(const std::string& checkins_path,
-                           const std::string& edges_path,
-                           const LoadOptions& options) {
-  std::ifstream checkin_file(checkins_path);
-  if (!checkin_file)
-    throw std::runtime_error("load_checkins_snap: cannot open " +
-                             checkins_path);
+namespace {
 
-  struct RawCheckin {
-    long long user;
-    geo::Timestamp time;
-    geo::LatLng location;
-    long long poi;
-  };
-  std::vector<RawCheckin> raw;
-  std::unordered_map<long long, std::size_t> user_checkin_count;
-  std::string line;
-  while (std::getline(checkin_file, line)) {
-    const auto trimmed = util::trim(line);
-    if (trimmed.empty()) continue;
-    const auto fields = util::split_whitespace(trimmed);
-    if (fields.size() < 5)
-      throw std::runtime_error("load_checkins_snap: short line '" + line +
-                               "'");
-    RawCheckin rc;
+struct RawCheckin {
+  long long user;
+  geo::Timestamp time;
+  geo::LatLng location;
+  long long poi;
+};
+
+enum class LineOutcome {
+  kOk,
+  kShortLine,
+  kBadTimestamp,
+  kBadNumber,
+  kOutOfRange,
+};
+
+LineOutcome parse_checkin_line(std::string_view trimmed, RawCheckin& rc) {
+  const auto fields = util::split_whitespace(trimmed);
+  if (fields.size() < 5) return LineOutcome::kShortLine;
+  try {
     rc.user = util::parse_int(fields[0]);
-    rc.time = parse_iso8601_utc(std::string(fields[1]));
     rc.location.lat = util::parse_double(fields[2]);
     rc.location.lng = util::parse_double(fields[3]);
     rc.poi = util::parse_int(fields[4]);
-    ++user_checkin_count[rc.user];
-    raw.push_back(rc);
+  } catch (const std::invalid_argument&) {
+    return LineOutcome::kBadNumber;
+  }
+  try {
+    rc.time = parse_iso8601_utc(std::string(fields[1]));
+  } catch (const ParseError&) {
+    return LineOutcome::kBadTimestamp;
+  }
+  if (rc.location.lat < -90.0 || rc.location.lat > 90.0 ||
+      rc.location.lng < -180.0 || rc.location.lng > 180.0)
+    return LineOutcome::kOutOfRange;
+  return LineOutcome::kOk;
+}
+
+const char* outcome_name(LineOutcome outcome) {
+  switch (outcome) {
+    case LineOutcome::kOk: return "ok";
+    case LineOutcome::kShortLine: return "short line";
+    case LineOutcome::kBadTimestamp: return "bad timestamp";
+    case LineOutcome::kBadNumber: return "bad number";
+    case LineOutcome::kOutOfRange: return "out-of-range coordinate";
+  }
+  return "unknown";
+}
+
+/// Counts a quarantined line into the report; in strict mode throws
+/// instead.
+void quarantine(LineOutcome outcome, std::string_view line,
+                std::size_t line_number, const LoadOptions& options,
+                LoadReport& report, const char* path) {
+  if (options.strictness == Strictness::kStrict)
+    throw ParseError(std::string("load_checkins_snap: ") +
+                     outcome_name(outcome) + " at " + path + ":" +
+                     std::to_string(line_number) + ": '" +
+                     std::string(line) + "'");
+  switch (outcome) {
+    case LineOutcome::kOk: break;
+    case LineOutcome::kShortLine: ++report.short_lines; break;
+    case LineOutcome::kBadTimestamp: ++report.bad_timestamps; break;
+    case LineOutcome::kBadNumber: ++report.bad_numbers; break;
+    case LineOutcome::kOutOfRange: ++report.out_of_range_coords; break;
+  }
+  if (report.sample_bad_lines.size() < options.max_sample_lines)
+    report.sample_bad_lines.emplace_back(line);
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  if (util::failpoint::fail("data.load.open"))
+    throw IoError("load_checkins_snap: injected open failure for " + path);
+  std::ifstream file(path);
+  if (!file) throw IoError("load_checkins_snap: cannot open " + path);
+  return file;
+}
+
+}  // namespace
+
+std::string LoadReport::summary() const {
+  std::ostringstream oss;
+  oss << "check-ins: " << accepted_checkins << "/" << checkin_lines
+      << " accepted";
+  if (quarantined_checkins() > 0)
+    oss << " (" << quarantined_checkins() << " quarantined: "
+        << short_lines << " short, " << bad_timestamps << " bad timestamp, "
+        << bad_numbers << " bad number, " << out_of_range_coords
+        << " out-of-range)";
+  oss << "\nedges: " << accepted_edges << "/" << edge_lines << " accepted";
+  if (quarantined_edges() > 0)
+    oss << " (" << quarantined_edges() << " quarantined: " << short_edge_lines
+        << " short, " << bad_edge_numbers << " bad number)";
+  oss << "\nusers dropped: " << users_below_activity_floor
+      << " below activity floor, " << users_dropped_by_cap << " by cap";
+  return oss.str();
+}
+
+Dataset load_checkins_snap(const std::string& checkins_path,
+                           const std::string& edges_path,
+                           const LoadOptions& options, LoadReport* report) {
+  LoadReport local_report;
+  LoadReport& rep = report != nullptr ? *report : local_report;
+  rep = LoadReport{};
+
+  // ---- Pass 1: stream the check-in file, counting valid records per
+  // user. Nothing is buffered, so users that fail the activity floor cost
+  // a map entry, not their full record set. ----
+  std::unordered_map<long long, std::size_t> user_checkin_count;
+  {
+    std::ifstream checkin_file = open_or_throw(checkins_path);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(checkin_file, line)) {
+      ++line_number;
+      const auto trimmed = util::trim(line);
+      if (trimmed.empty()) continue;
+      ++rep.checkin_lines;
+      RawCheckin rc;
+      const LineOutcome outcome = parse_checkin_line(trimmed, rc);
+      if (outcome != LineOutcome::kOk) {
+        quarantine(outcome, line, line_number, options, rep,
+                   checkins_path.c_str());
+        continue;
+      }
+      ++user_checkin_count[rc.user];
+    }
   }
 
   // Select users passing the activity floor; densify ids deterministically
   // (ascending original id).
   std::map<long long, UserId> user_map;
-  for (const auto& [user, count] : user_checkin_count)
+  for (const auto& [user, count] : user_checkin_count) {
     if (count >= static_cast<std::size_t>(options.min_checkins))
       user_map.emplace(user, 0);
+    else
+      ++rep.users_below_activity_floor;
+  }
   if (options.max_users != 0 && user_map.size() > options.max_users) {
     auto it = user_map.begin();
     std::advance(it, static_cast<long>(options.max_users));
+    rep.users_dropped_by_cap = user_map.size() - options.max_users;
     user_map.erase(it, user_map.end());
   }
   UserId next_user = 0;
   for (auto& [user, dense] : user_map) dense = next_user++;
 
+  // ---- Pass 2: re-stream, keeping only records of selected users. POIs
+  // are interned on first use by a kept record, so filtered users leave no
+  // residue in the POI map. Malformed lines were counted in pass 1 and are
+  // skipped silently here. ----
   std::map<long long, PoiId> poi_map;
   std::vector<Poi> pois;
   std::vector<CheckIn> checkins;
-  for (const RawCheckin& rc : raw) {
-    const auto uit = user_map.find(rc.user);
-    if (uit == user_map.end()) continue;
-    auto [pit, inserted] =
-        poi_map.emplace(rc.poi, static_cast<PoiId>(pois.size()));
-    if (inserted) pois.push_back(Poi{rc.location, 0});
-    checkins.push_back(CheckIn{uit->second, pit->second, rc.time,
-                               rc.location});
+  {
+    std::ifstream checkin_file = open_or_throw(checkins_path);
+    std::string line;
+    while (std::getline(checkin_file, line)) {
+      const auto trimmed = util::trim(line);
+      if (trimmed.empty()) continue;
+      RawCheckin rc;
+      if (parse_checkin_line(trimmed, rc) != LineOutcome::kOk) continue;
+      const auto uit = user_map.find(rc.user);
+      if (uit == user_map.end()) continue;
+      auto [pit, inserted] =
+          poi_map.emplace(rc.poi, static_cast<PoiId>(pois.size()));
+      if (inserted) pois.push_back(Poi{rc.location, 0});
+      checkins.push_back(
+          CheckIn{uit->second, pit->second, rc.time, rc.location});
+      ++rep.accepted_checkins;
+    }
   }
 
-  std::ifstream edge_file(edges_path);
-  if (!edge_file)
-    throw std::runtime_error("load_checkins_snap: cannot open " + edges_path);
+  std::ifstream edge_file = open_or_throw(edges_path);
   graph::Graph g(user_map.size());
+  std::string line;
+  std::size_t line_number = 0;
   while (std::getline(edge_file, line)) {
+    ++line_number;
     const auto trimmed = util::trim(line);
     if (trimmed.empty()) continue;
+    ++rep.edge_lines;
     const auto fields = util::split_whitespace(trimmed);
-    if (fields.size() < 2)
-      throw std::runtime_error("load_checkins_snap: short edge line '" +
-                               line + "'");
-    const auto a = user_map.find(util::parse_int(fields[0]));
-    const auto b = user_map.find(util::parse_int(fields[1]));
+    if (fields.size() < 2) {
+      if (options.strictness == Strictness::kStrict)
+        throw ParseError("load_checkins_snap: short edge line at " +
+                         edges_path + ":" + std::to_string(line_number) +
+                         ": '" + line + "'");
+      ++rep.short_edge_lines;
+      if (rep.sample_bad_lines.size() < options.max_sample_lines)
+        rep.sample_bad_lines.push_back(line);
+      continue;
+    }
+    long long raw_a = 0, raw_b = 0;
+    try {
+      raw_a = util::parse_int(fields[0]);
+      raw_b = util::parse_int(fields[1]);
+    } catch (const std::invalid_argument&) {
+      if (options.strictness == Strictness::kStrict)
+        throw ParseError("load_checkins_snap: bad edge number at " +
+                         edges_path + ":" + std::to_string(line_number) +
+                         ": '" + line + "'");
+      ++rep.bad_edge_numbers;
+      if (rep.sample_bad_lines.size() < options.max_sample_lines)
+        rep.sample_bad_lines.push_back(line);
+      continue;
+    }
+    const auto a = user_map.find(raw_a);
+    const auto b = user_map.find(raw_b);
     if (a == user_map.end() || b == user_map.end()) continue;
-    if (a->second != b->second) g.add_edge(a->second, b->second);
+    if (a->second != b->second && g.add_edge(a->second, b->second))
+      ++rep.accepted_edges;
   }
 
   return Dataset::build(user_map.size(), std::move(pois), std::move(checkins),
@@ -127,8 +286,7 @@ void save_checkins_snap(const Dataset& ds, const std::string& checkins_path,
                         const std::string& edges_path) {
   std::ofstream checkin_file(checkins_path);
   if (!checkin_file)
-    throw std::runtime_error("save_checkins_snap: cannot open " +
-                             checkins_path);
+    throw IoError("save_checkins_snap: cannot open " + checkins_path);
   for (const CheckIn& c : ds.checkins()) {
     // Times are written as raw epoch offsets in a fixed fake date range to
     // stay parseable; 2010-01-01 == epoch day 14610.
@@ -153,14 +311,20 @@ void save_checkins_snap(const Dataset& ds, const std::string& checkins_path,
                         static_cast<long long>(rem / 3600),
                         static_cast<long long>((rem % 3600) / 60),
                         static_cast<long long>(rem % 60))
-                 << '\t' << c.location.lat << '\t' << c.location.lng << '\t'
-                 << c.poi << '\n';
+                 << '\t'
+                 << util::format("%.7f\t%.7f", c.location.lat,
+                                 c.location.lng)
+                 << '\t' << c.poi << '\n';
   }
+  if (!checkin_file.flush())
+    throw IoError("save_checkins_snap: write failed for " + checkins_path);
   std::ofstream edge_file(edges_path);
   if (!edge_file)
-    throw std::runtime_error("save_checkins_snap: cannot open " + edges_path);
+    throw IoError("save_checkins_snap: cannot open " + edges_path);
   for (const graph::Edge& e : ds.friendships().edges())
     edge_file << e.a << '\t' << e.b << '\n';
+  if (!edge_file.flush())
+    throw IoError("save_checkins_snap: write failed for " + edges_path);
 }
 
 }  // namespace fs::data

@@ -7,31 +7,83 @@
 // User and location ids are re-densified; users with fewer than
 // `min_checkins` records are dropped (the paper excludes users who never
 // check in or check in only once).
+//
+// Real traces are dirty. `Strictness::kStrict` (the default) throws
+// fs::ParseError on the first malformed record; `Strictness::kPermissive`
+// quarantines malformed and out-of-range records into a `LoadReport`
+// (per-category counters plus a few sample lines) and loads the rest.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 
 namespace fs::data {
 
+enum class Strictness {
+  kStrict,      // throw on the first malformed record
+  kPermissive,  // quarantine malformed records, keep loading
+};
+
 struct LoadOptions {
   int min_checkins = 2;
   /// Cap on users (0 = unlimited) for subsampled experiments.
   std::size_t max_users = 0;
+  Strictness strictness = Strictness::kStrict;
+  /// How many quarantined lines to keep verbatim in the report.
+  std::size_t max_sample_lines = 5;
+};
+
+/// Per-category census of what permissive loading quarantined. Counters
+/// are exact regardless of the two-pass streaming implementation.
+struct LoadReport {
+  // Check-in file.
+  std::size_t checkin_lines = 0;        // non-empty lines seen
+  std::size_t accepted_checkins = 0;    // parsed into the dataset
+  std::size_t short_lines = 0;          // fewer than 5 fields
+  std::size_t bad_timestamps = 0;       // unparseable/impossible dates
+  std::size_t bad_numbers = 0;          // unparseable ids/coordinates
+  std::size_t out_of_range_coords = 0;  // |lat| > 90 or |lng| > 180
+  // Edge file.
+  std::size_t edge_lines = 0;
+  std::size_t accepted_edges = 0;
+  std::size_t short_edge_lines = 0;
+  std::size_t bad_edge_numbers = 0;
+  // Activity filtering (not quarantine — these records were valid).
+  std::size_t users_below_activity_floor = 0;
+  std::size_t users_dropped_by_cap = 0;
+  /// Up to LoadOptions::max_sample_lines quarantined lines, verbatim.
+  std::vector<std::string> sample_bad_lines;
+
+  std::size_t quarantined_checkins() const {
+    return short_lines + bad_timestamps + bad_numbers + out_of_range_coords;
+  }
+  std::size_t quarantined_edges() const {
+    return short_edge_lines + bad_edge_numbers;
+  }
+  /// Human-readable multi-line summary for the CLI.
+  std::string summary() const;
 };
 
 /// Parses "2010-10-19T23:55:27Z" into epoch seconds (UTC, proleptic
-/// Gregorian). Throws on malformed input.
+/// Gregorian). Validates the calendar date (days-in-month, leap years) and
+/// rejects trailing garbage after the seconds field (an optional 'Z' and
+/// trailing whitespace are allowed). Throws fs::ParseError on bad input.
 geo::Timestamp parse_iso8601_utc(const std::string& text);
 
 /// Loads a SNAP-format dataset from a check-ins file and an edges file.
+/// Missing/unreadable files throw fs::IoError in both modes. If `report`
+/// is non-null it is reset and filled with the load census.
 Dataset load_checkins_snap(const std::string& checkins_path,
                            const std::string& edges_path,
-                           const LoadOptions& options = {});
+                           const LoadOptions& options = {},
+                           LoadReport* report = nullptr);
 
 /// Serializes a dataset back out in SNAP format (round-trip testing, and
-/// handing synthetic worlds to external tools).
+/// handing synthetic worlds to external tools). Coordinates are written
+/// with 7 decimal places (~1 cm), the precision real SNAP traces carry.
 void save_checkins_snap(const Dataset& ds, const std::string& checkins_path,
                         const std::string& edges_path);
 

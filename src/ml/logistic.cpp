@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "util/error.h"
+#include "util/failpoint.h"
 
 namespace fs::ml {
 
@@ -21,6 +25,15 @@ void LogisticClassifier::fit(const nn::Matrix& features,
     throw std::invalid_argument("LogisticClassifier::fit: size mismatch");
   if (n == 0)
     throw std::invalid_argument("LogisticClassifier::fit: empty set");
+
+  // Same contract as the SVM: refuse to train on non-finite features.
+  if (!std::isfinite(util::failpoint::corrupt("ml.logistic.nan", 0.0)))
+    throw NumericError("LogisticClassifier::fit: injected non-finite feature");
+  for (std::size_t i = 0; i < features.size(); ++i)
+    if (!std::isfinite(features.data()[i]))
+      throw NumericError(
+          "LogisticClassifier::fit: non-finite feature at flat index " +
+          std::to_string(i));
 
   weights_.assign(dim, 0.0);
   bias_ = 0.0;

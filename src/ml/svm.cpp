@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace fs::ml {
@@ -34,6 +36,16 @@ void SvmClassifier::fit(const nn::Matrix& features,
         "SvmClassifier::fit: training set exceeds max_train_rows; "
         "subsample before fitting");
   const std::size_t dim = features.cols();
+
+  // A single NaN poisons the whole kernel matrix, so the SMO loop would
+  // "converge" on garbage; fail loudly instead and let the caller back off.
+  if (!std::isfinite(util::failpoint::corrupt("ml.svm.nan", 0.0)))
+    throw NumericError("SvmClassifier::fit: injected non-finite feature");
+  for (std::size_t i = 0; i < features.size(); ++i)
+    if (!std::isfinite(features.data()[i]))
+      throw NumericError(
+          "SvmClassifier::fit: non-finite feature at flat index " +
+          std::to_string(i));
 
   // Labels to {-1, +1}.
   std::vector<double> y(n);

@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "util/failpoint.h"
 
 namespace fs::nn {
 
 namespace {
+
+void clip_elements(Matrix& m, double clip) {
+  if (clip <= 0.0) return;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = std::clamp(m.data()[i], -clip, clip);
+}
 
 std::vector<std::size_t> decoder_dims(const std::vector<std::size_t>& enc) {
   return {enc.rbegin(), enc.rend()};
@@ -55,7 +64,7 @@ SupervisedAutoencoder::SupervisedAutoencoder(AutoencoderConfig config,
       classifier_(std::move(classifier)) {}
 
 void SupervisedAutoencoder::save(util::BinaryWriter& writer) const {
-  writer.tag("SAE0");
+  writer.tag("SAE1");
   writer.u64(config_.encoder_dims.size());
   for (std::size_t d : config_.encoder_dims) writer.u64(d);
   writer.u64(config_.classifier_hidden.size());
@@ -66,6 +75,9 @@ void SupervisedAutoencoder::save(util::BinaryWriter& writer) const {
   writer.u64(config_.batch_size);
   writer.u64(config_.seed);
   writer.u64(config_.mean_reconstruction_loss ? 1 : 0);
+  writer.f64(config_.gradient_clip);
+  writer.i64(config_.divergence_retries);
+  writer.f64(config_.retry_lr_backoff);
   encoder_.save(writer);
   decoder_.save(writer);
   classifier_.save(writer);
@@ -73,7 +85,7 @@ void SupervisedAutoencoder::save(util::BinaryWriter& writer) const {
 
 SupervisedAutoencoder SupervisedAutoencoder::load(
     util::BinaryReader& reader) {
-  reader.expect_tag("SAE0");
+  reader.expect_tag("SAE1");
   AutoencoderConfig cfg;
   cfg.encoder_dims.resize(reader.u64());
   for (std::size_t& d : cfg.encoder_dims) d = reader.u64();
@@ -85,11 +97,32 @@ SupervisedAutoencoder SupervisedAutoencoder::load(
   cfg.batch_size = reader.u64();
   cfg.seed = reader.u64();
   cfg.mean_reconstruction_loss = reader.u64() != 0;
+  cfg.gradient_clip = reader.f64();
+  cfg.divergence_retries = static_cast<int>(reader.i64());
+  cfg.retry_lr_backoff = reader.f64();
   Mlp encoder = Mlp::load(reader);
   Mlp decoder = Mlp::load(reader);
   Mlp classifier = Mlp::load(reader);
   return SupervisedAutoencoder(std::move(cfg), std::move(encoder),
                                std::move(decoder), std::move(classifier));
+}
+
+void SupervisedAutoencoder::reinitialize(std::uint64_t salt) {
+  const std::uint64_t seed = config_.seed ^ (salt * 0x2545f4914f6cdd1dULL);
+  {
+    util::Rng rng(seed);
+    encoder_ = make_mlp(config_.encoder_dims, Activation::kIdentity, rng);
+  }
+  {
+    util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    decoder_ = make_mlp(decoder_dims(config_.encoder_dims),
+                        Activation::kIdentity, rng);
+  }
+  {
+    util::Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+    classifier_ = make_mlp(classifier_dims(config_), Activation::kIdentity,
+                           rng);
+  }
 }
 
 std::vector<EpochStats> SupervisedAutoencoder::train(
@@ -101,6 +134,32 @@ std::vector<EpochStats> SupervisedAutoencoder::train(
   if (inputs.rows() == 0)
     throw std::invalid_argument("train: empty training set");
 
+  double learning_rate = config_.learning_rate;
+  const int attempts = 1 + std::max(0, config_.divergence_retries);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return train_once(inputs, labels, learning_rate);
+    } catch (const NumericError& e) {
+      if (attempt + 1 >= attempts)
+        throw ConvergenceError(
+            std::string("SupervisedAutoencoder: training diverged after ") +
+            std::to_string(attempts) + " attempts (" + e.what() + ")");
+      learning_rate *= config_.retry_lr_backoff;
+      if (config_.diagnostics != nullptr)
+        config_.diagnostics->report(
+            util::Severity::kWarning, ErrorCode::kNumeric, "autoencoder",
+            std::string("divergent attempt ") + std::to_string(attempt + 1) +
+                " (" + e.what() + "); reinitializing with learning rate " +
+                std::to_string(learning_rate));
+      // Fresh weights: NaNs may already be inside the parameters.
+      reinitialize(static_cast<std::uint64_t>(attempt) + 1);
+    }
+  }
+}
+
+std::vector<EpochStats> SupervisedAutoencoder::train_once(
+    const Matrix& inputs, const std::vector<int>& labels,
+    double learning_rate) {
   util::Rng shuffle_rng(config_.seed ^ 0xa5a5a5a5ULL);
   std::vector<std::size_t> order(inputs.rows());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -134,32 +193,43 @@ std::vector<EpochStats> SupervisedAutoencoder::train(
       // ---- L_auto step (Algorithm 1 lines 11-14): update A with beta. ----
       Matrix d_recon = recon;
       d_recon -= x;
-      stats.reconstruction_loss +=
-          Matrix::squared_difference(recon, x) / n * elem_norm;
+      const double batch_recon_loss = util::failpoint::corrupt(
+          "nn.train.nan", Matrix::squared_difference(recon, x) / n *
+                              elem_norm);
+      stats.reconstruction_loss += batch_recon_loss;
       d_recon *= 2.0 / n * elem_norm;
+      clip_elements(d_recon, config_.gradient_clip);
       const Matrix d_code_auto = decoder_.backward(d_recon);
       encoder_.backward(d_code_auto);
-      decoder_.apply_gradients(config_.learning_rate);
-      encoder_.apply_gradients(config_.learning_rate);
+      decoder_.apply_gradients(learning_rate);
+      encoder_.apply_gradients(learning_rate);
 
       // ---- L_cla step for the classifier (lines 15-18). ----
       // The head emits a logit; BCE-after-sigmoid gives the stable gradient
       // (sigmoid(logit) - y) / n.
       Matrix d_logit(logit.rows(), 1);
+      double batch_cla_loss = 0.0;
       for (std::size_t r = 0; r < logit.rows(); ++r) {
         const double p = 1.0 / (1.0 + std::exp(-logit(r, 0)));
         const double y = static_cast<double>(labels[batch[r]]);
         const double p_safe = std::clamp(p, 1e-12, 1.0 - 1e-12);
-        stats.classification_loss +=
+        batch_cla_loss +=
             -(y * std::log(p_safe) + (1.0 - y) * std::log(1.0 - p_safe)) / n;
         d_logit(r, 0) = (p - y) / n;
       }
+      stats.classification_loss += batch_cla_loss;
+      clip_elements(d_logit, config_.gradient_clip);
       const Matrix d_code_cla = classifier_.backward(d_logit);
-      classifier_.apply_gradients(config_.learning_rate);
+      classifier_.apply_gradients(learning_rate);
 
       // ---- L_cla step for the encoder with alpha*beta (lines 19-22). ----
       encoder_.backward(d_code_cla);
-      encoder_.apply_gradients(config_.alpha * config_.learning_rate);
+      encoder_.apply_gradients(config_.alpha * learning_rate);
+
+      if (!std::isfinite(batch_recon_loss) || !std::isfinite(batch_cla_loss))
+        throw NumericError(
+            "SupervisedAutoencoder: non-finite loss at epoch " +
+            std::to_string(epoch) + ", batch " + std::to_string(batches));
 
       ++batches;
     }

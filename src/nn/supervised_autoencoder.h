@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/layers.h"
+#include "util/error.h"
 
 namespace fs::nn {
 
@@ -37,6 +38,17 @@ struct AutoencoderConfig {
   /// only the effective learning-rate ratio between the losses, not the
   /// optimum.
   bool mean_reconstruction_loss = true;
+
+  // ---- Numeric guards (fault tolerance, not part of Algorithm 1) ----
+  /// Per-element cap on loss gradients before backprop; 0 disables.
+  double gradient_clip = 5.0;
+  /// How many times a diverging run (NaN/Inf loss) is restarted with fresh
+  /// weights and a backed-off learning rate before giving up.
+  int divergence_retries = 1;
+  /// Learning-rate multiplier applied on each divergence retry.
+  double retry_lr_backoff = 0.5;
+  /// Optional sink for divergence/retry reports (not serialized).
+  fs::util::Diagnostics* diagnostics = nullptr;
 };
 
 struct EpochStats {
@@ -51,6 +63,12 @@ class SupervisedAutoencoder {
 
   /// Trains on JOC rows `inputs` (one flattened cuboid per row) with binary
   /// labels. Returns per-epoch losses.
+  ///
+  /// Numeric robustness: gradients are clipped per element; a NaN/Inf loss
+  /// aborts the attempt, and training restarts with fresh weights and a
+  /// backed-off learning rate (config.divergence_retries times). Repeated
+  /// divergence throws fs::ConvergenceError; each retry is reported into
+  /// config.diagnostics when set.
   std::vector<EpochStats> train(const Matrix& inputs,
                                 const std::vector<int>& labels);
 
@@ -75,6 +93,15 @@ class SupervisedAutoencoder {
  private:
   SupervisedAutoencoder(AutoencoderConfig config, Mlp encoder, Mlp decoder,
                         Mlp classifier);
+
+  /// One full training attempt; throws fs::NumericError on a non-finite
+  /// loss.
+  std::vector<EpochStats> train_once(const Matrix& inputs,
+                                     const std::vector<int>& labels,
+                                     double learning_rate);
+
+  /// Re-draws all weights (salted seed) for a divergence retry.
+  void reinitialize(std::uint64_t salt);
 
   AutoencoderConfig config_;
   Mlp encoder_;

@@ -1,14 +1,54 @@
 #include "util/binary_io.h"
 
+#include <array>
 #include <cstring>
 #include <stdexcept>
 
+#include "util/error.h"
+
 namespace fs::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes_ptr = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i)
+    c = table[(c ^ bytes_ptr[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
 
 void BinaryWriter::raw(const void* data, std::size_t bytes) {
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
-  if (!out_) throw std::runtime_error("BinaryWriter: write failed");
+  if (!out_) throw IoError("BinaryWriter: write failed");
+  if (crc_active_) crc_.update(data, bytes);
+}
+
+void BinaryWriter::crc_begin() {
+  crc_.reset();
+  crc_active_ = true;
+}
+
+std::uint32_t BinaryWriter::crc_end() {
+  crc_active_ = false;
+  const std::uint32_t value = crc_.value();
+  u64(value);
+  return value;
 }
 
 void BinaryWriter::tag(const char (&name)[5]) { raw(name, 4); }
@@ -36,6 +76,23 @@ void BinaryReader::raw(void* data, std::size_t bytes) {
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   if (static_cast<std::size_t>(in_.gcount()) != bytes)
     throw std::runtime_error("BinaryReader: truncated stream");
+  if (crc_active_) crc_.update(data, bytes);
+}
+
+void BinaryReader::crc_begin() {
+  crc_.reset();
+  crc_active_ = true;
+}
+
+std::uint32_t BinaryReader::crc_end() {
+  crc_active_ = false;
+  const std::uint32_t computed = crc_.value();
+  const std::uint64_t stored = u64();
+  if (stored != computed)
+    throw CorruptCheckpoint(
+        "BinaryReader: CRC mismatch (stored " + std::to_string(stored) +
+        ", computed " + std::to_string(computed) + ")");
+  return computed;
 }
 
 void BinaryReader::expect_tag(const char (&name)[5]) {

@@ -4,6 +4,12 @@
 // so version/type mismatches fail loudly at the exact field, not as
 // corrupted numbers downstream. Host endianness is assumed (the project
 // targets a single machine; files are a cache, not an interchange format).
+//
+// For durable artifacts (checkpoints), both ends support CRC32 regions:
+// the writer accumulates a checksum over every byte between crc_begin()
+// and crc_end() and appends it; the reader recomputes it over the same
+// span and verifies — so truncation and bit rot fail loudly instead of
+// deserializing garbage.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,23 @@
 #include <vector>
 
 namespace fs::util {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), one-shot over a buffer.
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t bytes) {
+    value_ = crc32(data, bytes, value_);
+  }
+  std::uint32_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
 
 class BinaryWriter {
  public:
@@ -26,9 +49,16 @@ class BinaryWriter {
   void f64_vector(const std::vector<double>& values);
   void i32_vector(const std::vector<int>& values);
 
+  /// Starts checksumming subsequent writes.
+  void crc_begin();
+  /// Stops checksumming, writes the CRC32 as a u64 record, returns it.
+  std::uint32_t crc_end();
+
  private:
   void raw(const void* data, std::size_t bytes);
   std::ostream& out_;
+  Crc32 crc_;
+  bool crc_active_ = false;
 };
 
 class BinaryReader {
@@ -45,9 +75,17 @@ class BinaryReader {
   std::vector<double> f64_vector();
   std::vector<int> i32_vector();
 
+  /// Starts checksumming subsequent reads.
+  void crc_begin();
+  /// Stops checksumming, reads the stored CRC32 and throws
+  /// fs::CorruptCheckpoint on mismatch. Returns the verified value.
+  std::uint32_t crc_end();
+
  private:
   void raw(void* data, std::size_t bytes);
   std::istream& in_;
+  Crc32 crc_;
+  bool crc_active_ = false;
 };
 
 }  // namespace fs::util

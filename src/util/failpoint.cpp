@@ -1,0 +1,161 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace fs::util::failpoint {
+
+namespace {
+
+struct State {
+  Config config;
+  std::uint64_t evaluations = 0;
+  std::uint64_t triggers = 0;
+  bool active = false;
+};
+
+// Single-threaded by design, like the logger: the registry is mutated by
+// tests/benches before the code under test runs.
+std::map<std::string, State>& registry() {
+  static std::map<std::string, State> instance;
+  return instance;
+}
+
+std::size_t& active_count() {
+  static std::size_t count = 0;
+  return count;
+}
+
+bool parse_action(std::string_view text, Action& out) {
+  if (text == "error") out = Action::kError;
+  else if (text == "nan") out = Action::kNan;
+  else if (text == "truncate") out = Action::kTruncate;
+  else if (text == "latency") out = Action::kLatency;
+  else return false;
+  return true;
+}
+
+void ensure_env_init() {
+  static bool done = false;
+  if (!done) {
+    done = true;
+    init_from_env();
+  }
+}
+
+/// Evaluates a failpoint: returns the action if it fired, nullptr if not.
+const Config* evaluate(const char* name) {
+  ensure_env_init();
+  if (active_count() == 0) return nullptr;
+  const auto it = registry().find(name);
+  if (it == registry().end() || !it->second.active) return nullptr;
+  State& state = it->second;
+  const auto evaluation = static_cast<std::int64_t>(state.evaluations++);
+  if (evaluation < state.config.skip) return nullptr;
+  if (state.config.limit >= 0 &&
+      static_cast<std::int64_t>(state.triggers) >= state.config.limit)
+    return nullptr;
+  ++state.triggers;
+  if (state.config.action == Action::kLatency) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(state.config.latency_ms));
+    return nullptr;  // latency delays the call site but never fails it
+  }
+  return &state.config;
+}
+
+}  // namespace
+
+void activate(const std::string& name, const Config& config) {
+  State& state = registry()[name];
+  if (!state.active) ++active_count();
+  state.config = config;
+  state.active = true;
+}
+
+void activate(const std::string& name, Action action, int limit) {
+  Config config;
+  config.action = action;
+  config.limit = limit;
+  activate(name, config);
+}
+
+void deactivate(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it != registry().end() && it->second.active) {
+    it->second.active = false;
+    --active_count();
+  }
+}
+
+void clear() {
+  registry().clear();
+  active_count() = 0;
+}
+
+bool any_active() { return active_count() > 0; }
+
+std::uint64_t evaluations(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t triggers(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.triggers;
+}
+
+void init_from_env() {
+  const char* env = std::getenv("FS_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  // "name=action[:key=value[:...]];name2=action"
+  for (std::string_view entry : split(env, ';')) {
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string name(trim(entry.substr(0, eq)));
+    const std::vector<std::string_view> parts =
+        split(entry.substr(eq + 1), ':');
+    Config config;
+    if (parts.empty() || !parse_action(trim(parts[0]), config.action))
+      continue;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::string_view part = trim(parts[i]);
+      const auto kv = part.find('=');
+      if (kv == std::string_view::npos) continue;
+      const std::string_view key = part.substr(0, kv);
+      const long long value = parse_int(part.substr(kv + 1));
+      if (key == "skip") config.skip = static_cast<int>(value);
+      else if (key == "limit") config.limit = static_cast<int>(value);
+      else if (key == "latency_ms") config.latency_ms =
+          static_cast<int>(value);
+    }
+    activate(name, config);
+  }
+}
+
+bool fail(const char* name) {
+  const Config* fired = evaluate(name);
+  return fired != nullptr && fired->action == Action::kError;
+}
+
+double corrupt(const char* name, double value) {
+  const Config* fired = evaluate(name);
+  if (fired != nullptr && fired->action == Action::kNan)
+    return std::numeric_limits<double>::quiet_NaN();
+  return value;
+}
+
+std::size_t truncate(const char* name, std::size_t size) {
+  const Config* fired = evaluate(name);
+  if (fired != nullptr && fired->action == Action::kTruncate) return size / 2;
+  return size;
+}
+
+}  // namespace fs::util::failpoint

@@ -1,0 +1,73 @@
+// Named failpoints for fault-injection testing.
+//
+// A failpoint is a call site in production code that asks the registry
+// "should I fail here, and how?". With nothing activated every helper is a
+// cheap early-out, so the hooks stay compiled into release builds and the
+// fault-injection suite exercises the exact binaries that ship.
+//
+// Naming convention: `<subsystem>.<operation>.<fault>` — e.g.
+// `data.load.open`, `nn.train.nan`, `checkpoint.load.truncate`.
+//
+// Activation is programmatic (`activate`) or via the FS_FAILPOINTS
+// environment variable:
+//
+//   FS_FAILPOINTS="data.load.open=error;nn.train.nan=nan:limit=2"
+//
+// Per-failpoint config: `skip=N` ignores the first N evaluations, `limit=N`
+// fires at most N times (-1 = unlimited), `latency_ms=N` for latency
+// injection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fs::util::failpoint {
+
+enum class Action {
+  kError,    // the call site throws (IoError at I/O sites)
+  kNan,      // corrupt(value) returns NaN
+  kTruncate, // truncate(size) returns a shortened size
+  kLatency,  // sleep latency_ms, then behave as if inactive
+};
+
+struct Config {
+  Action action = Action::kError;
+  int skip = 0;        // don't fire on the first `skip` evaluations
+  int limit = -1;      // fire at most this many times; -1 = unlimited
+  int latency_ms = 1;  // for kLatency
+};
+
+void activate(const std::string& name, const Config& config);
+void activate(const std::string& name, Action action, int limit = -1);
+void deactivate(const std::string& name);
+/// Deactivates everything and resets all counters.
+void clear();
+
+/// True if any failpoint is active (fast pre-check used by the helpers).
+bool any_active();
+
+/// Bookkeeping for tests: how often a failpoint was evaluated / fired.
+std::uint64_t evaluations(const std::string& name);
+std::uint64_t triggers(const std::string& name);
+
+/// Parses FS_FAILPOINTS. Runs automatically on the first evaluation; safe
+/// to call again (re-reads the variable on explicit calls).
+void init_from_env();
+
+// ---- call-site helpers ------------------------------------------------
+// Each evaluates the named failpoint once (consuming skip/limit budget).
+// A latency-action failpoint sleeps and then reports "not fired" so the
+// call site proceeds normally.
+
+/// True when an error-action failpoint fires: the call site should throw.
+bool fail(const char* name);
+
+/// Returns NaN when a nan-action failpoint fires, `value` otherwise.
+double corrupt(const char* name, double value);
+
+/// Returns a truncated size (half, rounded down) when a truncate-action
+/// failpoint fires, `size` otherwise.
+std::size_t truncate(const char* name, std::size_t size);
+
+}  // namespace fs::util::failpoint

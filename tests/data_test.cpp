@@ -10,6 +10,7 @@
 #include "data/obfuscation.h"
 #include "data/stats.h"
 #include "data/synthetic.h"
+#include "util/error.h"
 
 namespace fs::data {
 namespace {
@@ -395,9 +396,28 @@ TEST(Loader, ParseIso8601) {
   EXPECT_EQ(parse_iso8601_utc("1970-01-02T00:00:01Z"), 86401);
   // SNAP uses this format; also accept a space separator.
   EXPECT_EQ(parse_iso8601_utc("1970-01-01 01:00:00"), 3600);
-  EXPECT_THROW(parse_iso8601_utc("not-a-time"), std::invalid_argument);
-  EXPECT_THROW(parse_iso8601_utc("1970-13-01T00:00:00Z"),
-               std::invalid_argument);
+  EXPECT_THROW(parse_iso8601_utc("not-a-time"), ParseError);
+  EXPECT_THROW(parse_iso8601_utc("1970-13-01T00:00:00Z"), ParseError);
+}
+
+TEST(Loader, ParseIso8601RejectsImpossibleCalendarDates) {
+  // Field-wise range checks alone would accept these.
+  EXPECT_THROW(parse_iso8601_utc("2010-02-31T00:00:00Z"), ParseError);
+  EXPECT_THROW(parse_iso8601_utc("2010-04-31T00:00:00Z"), ParseError);
+  EXPECT_THROW(parse_iso8601_utc("2010-01-00T00:00:00Z"), ParseError);
+  // Leap-year handling: 2012 has a Feb 29, 2011 and 2100 do not.
+  EXPECT_NO_THROW(parse_iso8601_utc("2012-02-29T00:00:00Z"));
+  EXPECT_THROW(parse_iso8601_utc("2011-02-29T00:00:00Z"), ParseError);
+  EXPECT_THROW(parse_iso8601_utc("2100-02-29T00:00:00Z"), ParseError);
+  EXPECT_NO_THROW(parse_iso8601_utc("2000-02-29T00:00:00Z"));
+}
+
+TEST(Loader, ParseIso8601RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_iso8601_utc("1970-01-01T00:00:00Zjunk"), ParseError);
+  EXPECT_THROW(parse_iso8601_utc("1970-01-01T00:00:00+02:00"), ParseError);
+  // A lone 'Z' and trailing whitespace stay legal.
+  EXPECT_NO_THROW(parse_iso8601_utc("1970-01-01T00:00:00Z "));
+  EXPECT_NO_THROW(parse_iso8601_utc("1970-01-01T00:00:00"));
 }
 
 TEST(Loader, RoundTripPreservesStructure) {
@@ -435,9 +455,124 @@ TEST(Loader, MinCheckinsFilterDropsSparseUsers) {
   EXPECT_EQ(ds.friendships().edge_count(), 0u);  // edge endpoint dropped
 }
 
+TEST(Loader, RoundTripPreservesCoordinates) {
+  // %.7f output keeps ~1 cm of latitude; the reloaded coordinates must
+  // agree to within half an ulp of that last printed digit.
+  const SyntheticWorld world = generate_world(tiny_world_config());
+  const std::string dir = testing::TempDir() + "/fs_loader_coords";
+  std::filesystem::create_directories(dir);
+  save_checkins_snap(world.dataset, dir + "/checkins.txt",
+                     dir + "/edges.txt");
+  const Dataset loaded =
+      load_checkins_snap(dir + "/checkins.txt", dir + "/edges.txt");
+  ASSERT_EQ(loaded.user_count(), world.dataset.user_count());
+  for (UserId u = 0; u < loaded.user_count(); ++u) {
+    const auto before = world.dataset.trajectory(u);
+    const auto after = loaded.trajectory(u);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      // The saver rebases times onto its fake 2010-01-01 date range
+      // (epoch day 14610); the offset is constant so ordering and gaps
+      // survive exactly.
+      EXPECT_EQ(before[i].time + 14610LL * geo::kSecondsPerDay,
+                after[i].time);
+      EXPECT_NEAR(before[i].location.lat, after[i].location.lat, 5e-8);
+      EXPECT_NEAR(before[i].location.lng, after[i].location.lng, 5e-8);
+    }
+  }
+}
+
+TEST(Loader, FilteredUsersLeaveNoPoiResidue) {
+  const std::string dir = testing::TempDir() + "/fs_loader_residue";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream checkins(dir + "/checkins.txt");
+    checkins << "100\t1970-01-01T00:00:00Z\t1.0\t2.0\t7\n";
+    checkins << "100\t1970-01-02T00:00:00Z\t1.0\t2.0\t7\n";
+    // User 200 falls below the activity floor; POI 8 is visited only by
+    // them and must not be interned.
+    checkins << "200\t1970-01-01T00:00:00Z\t3.0\t4.0\t8\n";
+    std::ofstream edges(dir + "/edges.txt");
+    edges << "100\t200\n";
+  }
+  const Dataset ds =
+      load_checkins_snap(dir + "/checkins.txt", dir + "/edges.txt");
+  EXPECT_EQ(ds.user_count(), 1u);
+  EXPECT_EQ(ds.poi_count(), 1u);
+}
+
 TEST(Loader, MissingFileThrows) {
   EXPECT_THROW(load_checkins_snap("/nonexistent/a", "/nonexistent/b"),
-               std::runtime_error);
+               IoError);
+  // A missing edge file also surfaces as IoError, after the check-in
+  // passes succeeded.
+  const std::string dir = testing::TempDir() + "/fs_loader_noedges";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream checkins(dir + "/checkins.txt");
+    checkins << "1\t1970-01-01T00:00:00Z\t1.0\t2.0\t7\n";
+    checkins << "1\t1970-01-02T00:00:00Z\t1.0\t2.0\t7\n";
+  }
+  EXPECT_THROW(
+      load_checkins_snap(dir + "/checkins.txt", dir + "/missing.txt"),
+      IoError);
+}
+
+void write_messy_world(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::ofstream checkins(dir + "/checkins.txt");
+  checkins << "100\t1970-01-01T00:00:00Z\t1.0\t2.0\t7\n";
+  checkins << "100\t1970-01-02T00:00:00Z\t1.0\t2.0\t7\n";
+  checkins << "300\n";                                           // short
+  checkins << "300\t1970-02-31T00:00:00Z\t1.0\t2.0\t7\n";        // bad date
+  checkins << "300\t1970-01-01T00:00:00Z\tabc\t2.0\t7\n";        // bad num
+  checkins << "300\t1970-01-01T00:00:00Z\t95.0\t2.0\t7\n";       // range
+  checkins << "300\t1970-01-03T00:00:00Z\t1.5\t2.5\t9\n";
+  checkins << "300\t1970-01-04T00:00:00Z\t1.5\t2.5\t9\n";
+  std::ofstream edges(dir + "/edges.txt");
+  edges << "100\t300\n";
+  edges << "100\n";         // short
+  edges << "100\txyz\n";    // bad number
+}
+
+TEST(Loader, StrictModeThrowsOnFirstBadLine) {
+  const std::string dir = testing::TempDir() + "/fs_loader_strict";
+  write_messy_world(dir);
+  LoadOptions options;
+  options.strictness = Strictness::kStrict;
+  EXPECT_THROW(load_checkins_snap(dir + "/checkins.txt", dir + "/edges.txt",
+                                  options),
+               ParseError);
+}
+
+TEST(Loader, PermissiveModeQuarantinesAndCounts) {
+  const std::string dir = testing::TempDir() + "/fs_loader_permissive";
+  write_messy_world(dir);
+  LoadOptions options;
+  options.strictness = Strictness::kPermissive;
+  LoadReport report;
+  const Dataset ds = load_checkins_snap(dir + "/checkins.txt",
+                                        dir + "/edges.txt", options, &report);
+  EXPECT_EQ(ds.user_count(), 2u);
+  EXPECT_EQ(ds.checkin_count(), 4u);
+  EXPECT_EQ(ds.friendships().edge_count(), 1u);
+
+  EXPECT_EQ(report.checkin_lines, 8u);
+  EXPECT_EQ(report.accepted_checkins, 4u);
+  EXPECT_EQ(report.short_lines, 1u);
+  EXPECT_EQ(report.bad_timestamps, 1u);
+  EXPECT_EQ(report.bad_numbers, 1u);
+  EXPECT_EQ(report.out_of_range_coords, 1u);
+  EXPECT_EQ(report.quarantined_checkins(), 4u);
+
+  EXPECT_EQ(report.edge_lines, 3u);
+  EXPECT_EQ(report.accepted_edges, 1u);
+  EXPECT_EQ(report.short_edge_lines, 1u);
+  EXPECT_EQ(report.bad_edge_numbers, 1u);
+  EXPECT_EQ(report.quarantined_edges(), 2u);
+
+  EXPECT_FALSE(report.sample_bad_lines.empty());
+  EXPECT_FALSE(report.summary().empty());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "nn/layers.h"
 #include "nn/supervised_autoencoder.h"
 #include "util/binary_io.h"
+#include "util/error.h"
 
 namespace fs {
 namespace {
@@ -36,6 +37,59 @@ TEST(BinaryIo, ScalarsRoundTrip) {
   EXPECT_EQ(reader.str(), "hello");
   EXPECT_EQ(reader.f64_vector(), (std::vector<double>{1.0, 2.0}));
   EXPECT_EQ(reader.i32_vector(), (std::vector<int>{-1, 5}));
+}
+
+TEST(BinaryIo, Crc32KnownVector) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char* data = "123456789";
+  EXPECT_EQ(util::crc32(data, 9), 0xCBF43926u);
+  // Seeded continuation equals the one-shot over the concatenation.
+  const std::uint32_t first = util::crc32(data, 4);
+  EXPECT_EQ(util::crc32(data + 4, 5, first), 0xCBF43926u);
+  util::Crc32 incremental;
+  incremental.update(data, 3);
+  incremental.update(data + 3, 6);
+  EXPECT_EQ(incremental.value(), 0xCBF43926u);
+}
+
+TEST(BinaryIo, CrcRegionRoundTrip) {
+  std::stringstream stream;
+  util::BinaryWriter writer(stream);
+  writer.tag("HDRX");
+  writer.crc_begin();
+  writer.u64(77);
+  writer.str("payload");
+  writer.f64_vector({1.5, -2.5});
+  const std::uint32_t written = writer.crc_end();
+
+  util::BinaryReader reader(stream);
+  reader.expect_tag("HDRX");
+  reader.crc_begin();
+  EXPECT_EQ(reader.u64(), 77u);
+  EXPECT_EQ(reader.str(), "payload");
+  EXPECT_EQ(reader.f64_vector(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(reader.crc_end(), written);
+}
+
+TEST(BinaryIo, CrcRegionDetectsBitFlip) {
+  std::stringstream stream;
+  {
+    util::BinaryWriter writer(stream);
+    writer.crc_begin();
+    writer.u64(77);
+    writer.str("payload");
+    writer.crc_end();
+  }
+  std::string bytes = stream.str();
+  // Layout: u64 value (8 bytes), string length (8 bytes), then the chars;
+  // flip a bit inside the character payload so every field still parses.
+  bytes[17] ^= 0x40;
+  std::istringstream corrupted(bytes);
+  util::BinaryReader reader(corrupted);
+  reader.crc_begin();
+  reader.u64();
+  reader.str();
+  EXPECT_THROW(reader.crc_end(), CorruptCheckpoint);
 }
 
 TEST(BinaryIo, TagMismatchThrows) {

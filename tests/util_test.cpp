@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -308,6 +309,50 @@ TEST(Stopwatch, NonNegativeAndMonotonic) {
   EXPECT_GE(t2, t1);
   sw.reset();
   EXPECT_LT(sw.seconds(), 1.0);
+}
+
+// ---------- error taxonomy & diagnostics ----------
+
+TEST(Error, CarriesCodeAndPrefixesWhat) {
+  const ParseError e("bad line 7");
+  EXPECT_EQ(e.code(), ErrorCode::kParse);
+  EXPECT_EQ(std::string(e.what()), "ParseError: bad line 7");
+  // The taxonomy stays catchable through the legacy base classes.
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw CorruptCheckpoint("x"), std::runtime_error);
+  try {
+    throw ConvergenceError("diverged");
+  } catch (const Error& caught) {
+    EXPECT_EQ(caught.code(), ErrorCode::kConvergence);
+  }
+}
+
+TEST(Error, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (ErrorCode code :
+       {ErrorCode::kIo, ErrorCode::kParse, ErrorCode::kNumeric,
+        ErrorCode::kCorruptCheckpoint, ErrorCode::kConvergence})
+    names.insert(error_code_name(code));
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Diagnostics, CollectsAndSummarizes) {
+  Diagnostics diag;
+  EXPECT_TRUE(diag.empty());
+  EXPECT_FALSE(diag.has_errors());
+  diag.report(Severity::kWarning, ErrorCode::kParse, "loader",
+              "3 lines quarantined");
+  diag.report(Severity::kError, ErrorCode::kNumeric, "pipeline",
+              "phase 2 diverged");
+  EXPECT_EQ(diag.entries().size(), 2u);
+  EXPECT_EQ(diag.count(Severity::kWarning), 1u);
+  EXPECT_EQ(diag.count(Severity::kError), 1u);
+  EXPECT_TRUE(diag.has_errors());
+  const std::string text = diag.to_string();
+  EXPECT_NE(text.find("loader"), std::string::npos);
+  EXPECT_NE(text.find("phase 2 diverged"), std::string::npos);
+  diag.clear();
+  EXPECT_TRUE(diag.empty());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   friendseeker generate  --preset gowalla --out DIR [--users N ...]
 //   friendseeker stats     CHECKINS EDGES
 //   friendseeker attack    CHECKINS EDGES [--sigma S --tau D --dim D --k K]
+//                          [--permissive] [--checkpoint-dir DIR [--resume]]
 //   friendseeker obfuscate CHECKINS EDGES --mechanism M --ratio R --out DIR
 //
 // Mechanisms: hide | blur-in | blur-cross | friendguard.
@@ -37,11 +38,13 @@ int usage() {
   return 2;
 }
 
-data::Dataset load_positional(const util::ArgParser& args) {
+data::Dataset load_positional(const util::ArgParser& args,
+                              const data::LoadOptions& options = {},
+                              data::LoadReport* report = nullptr) {
   if (args.positional().size() < 2)
     throw std::invalid_argument("expected: CHECKINS EDGES");
-  return data::load_checkins_snap(args.positional()[0],
-                                  args.positional()[1]);
+  return data::load_checkins_snap(args.positional()[0], args.positional()[1],
+                                  options, report);
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -132,7 +135,14 @@ int cmd_attack(int argc, char** argv) {
   args.add_option("dim", "64", "presence feature dimension d");
   args.add_option("k", "3", "k-hop subgraph depth");
   args.add_option("iterations", "6", "max refinement iterations");
+  args.add_option("checkpoint-dir", "",
+                  "checkpoint the working state here after each iteration");
   args.add_flag("baselines", "also run the four baseline attacks");
+  args.add_flag("strict", "abort on the first malformed input line (default)");
+  args.add_flag("permissive",
+                "quarantine malformed input lines instead of aborting");
+  args.add_flag("resume", "resume from the last checkpoint in "
+                          "--checkpoint-dir");
   args.add_flag("help", "show options");
   args.parse(argc, argv, 2);
   if (args.get_flag("help")) {
@@ -141,8 +151,19 @@ int cmd_attack(int argc, char** argv) {
                  args.help().c_str());
     return 0;
   }
+  if (args.get_flag("strict") && args.get_flag("permissive"))
+    throw std::invalid_argument("--strict and --permissive are exclusive");
   util::set_log_level(util::LogLevel::kInfo);
-  const data::Dataset ds = load_positional(args);
+  data::LoadOptions load_options;
+  load_options.strictness = args.get_flag("permissive")
+                                ? data::Strictness::kPermissive
+                                : data::Strictness::kStrict;
+  data::LoadReport load_report;
+  const data::Dataset ds = load_positional(args, load_options, &load_report);
+  if (args.get_flag("permissive") &&
+      (load_report.quarantined_checkins() > 0 ||
+       load_report.quarantined_edges() > 0))
+    std::fprintf(stderr, "%s\n", load_report.summary().c_str());
   const eval::Experiment experiment =
       eval::make_experiment(ds, args.positional()[0]);
 
@@ -154,6 +175,10 @@ int cmd_attack(int argc, char** argv) {
   cfg.presence.feature_dim = static_cast<std::size_t>(args.get_int("dim"));
   cfg.k = static_cast<int>(args.get_int("k"));
   cfg.max_iterations = static_cast<int>(args.get_int("iterations"));
+  cfg.checkpoint_dir = args.get("checkpoint-dir");
+  cfg.resume = args.get_flag("resume");
+  if (cfg.resume && cfg.checkpoint_dir.empty())
+    throw std::invalid_argument("--resume requires --checkpoint-dir");
 
   util::Table table({"attack", "F1", "precision", "recall"});
   auto record = [&](baselines::FriendshipAttack& attack) {
