@@ -36,21 +36,34 @@ void save_pipeline_checkpoint(const std::string& path,
     writer.crc_end();
   }
 
+  // Write to a sibling temp file and rename into place; any failure after
+  // the temp file exists removes it again, so a failed save never leaves a
+  // stray .tmp behind (the chaos harness asserts exactly this invariant).
   const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw IoError("save_pipeline_checkpoint: cannot open " + tmp_path);
-    const std::string bytes = buffer.str();
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out.flush())
-      throw IoError("save_pipeline_checkpoint: write failed for " + tmp_path);
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out)
+        throw IoError("save_pipeline_checkpoint: cannot open " + tmp_path);
+      const std::string bytes = buffer.str();
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out.flush())
+        throw IoError("save_pipeline_checkpoint: write failed for " +
+                      tmp_path);
+    }
+    if (util::failpoint::fail("checkpoint.save.rename"))
+      throw IoError("save_pipeline_checkpoint: injected rename failure for " +
+                    path);
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec)
+      throw IoError("save_pipeline_checkpoint: rename to " + path +
+                    " failed: " + ec.message());
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp_path, ignored);
+    throw;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec)
-    throw IoError("save_pipeline_checkpoint: rename to " + path +
-                  " failed: " + ec.message());
 }
 
 PipelineCheckpoint load_pipeline_checkpoint(const std::string& path) {

@@ -87,8 +87,11 @@ nn::Matrix build_joc_matrix(const OccupancyIndex& index,
                             const std::vector<data::UserPair>& pairs,
                             const JocOptions& options) {
   nn::Matrix m(pairs.size(), index.joc_dim());
-  for (std::size_t r = 0; r < pairs.size(); ++r)
+  for (std::size_t r = 0; r < pairs.size(); ++r) {
+    if (options.context != nullptr && r % 256 == 0)
+      options.context->checkpoint("core.joc.build");
     build_joc(index, pairs[r].first, pairs[r].second, m.row(r), options);
+  }
   return m;
 }
 

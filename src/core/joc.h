@@ -14,6 +14,7 @@
 #include "geo/spatial_division.h"
 #include "geo/time_slots.h"
 #include "nn/matrix.h"
+#include "util/runtime.h"
 
 namespace fs::core {
 
@@ -51,6 +52,10 @@ struct JocOptions {
   /// and raw counts destabilize autoencoder training. Monotone per cell, so
   /// it preserves which cells carry signal.
   bool log_scale = true;
+  /// Optional governance: build_joc_matrix runs a cooperative cancellation
+  /// point every few hundred rows (a partial JOC matrix is unusable, so
+  /// cancellation and deadline expiry abort with a typed error).
+  runtime::ExecutionContext* context = nullptr;
 };
 
 /// Writes the flattened JOC of (a, b) into `out` (size joc_dim()).

@@ -14,6 +14,7 @@
 #include "graph/metrics.h"
 #include "ml/metrics.h"
 #include "ml/scaler.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -89,6 +90,8 @@ FriendSeekerResult FriendSeeker::run(
   if (train_pairs.empty() || test_pairs.empty())
     throw std::invalid_argument("FriendSeeker::run: empty pair lists");
 
+  runtime::ExecutionContext* const ctx = config_.context;
+
   // ---- Spatial-temporal division. ----
   const std::vector<geo::LatLng> poi_coords = dataset.poi_coordinates();
   std::unique_ptr<geo::QuadtreeDivision> quadtree;
@@ -114,7 +117,16 @@ FriendSeekerResult FriendSeeker::run(
   PairUniverse universe;
   universe.add(train_pairs);
   universe.add(test_pairs);
-  const nn::Matrix all_jocs = build_joc_matrix(occupancy, universe.pairs);
+  // The JOC matrix is the run's dominant allocation; charge its estimate
+  // against the memory budget up front so an over-budget configuration is
+  // rejected before the build instead of OOMing halfway through.
+  JocOptions joc_options;
+  joc_options.context = ctx;
+  const runtime::MemoryCharge joc_charge(
+      ctx, universe.pairs.size() * occupancy.joc_dim() * sizeof(double),
+      "core.joc.matrix");
+  const nn::Matrix all_jocs =
+      build_joc_matrix(occupancy, universe.pairs, joc_options);
 
   auto rows_of = [&](const std::vector<data::UserPair>& pairs) {
     std::vector<std::size_t> rows;
@@ -186,14 +198,28 @@ FriendSeekerResult FriendSeeker::run(
                        "resumed from checkpoint at iteration " +
                            std::to_string(resumed->iteration));
   } else {
+    presence_cfg.context = ctx;
     presence_storage.emplace(presence_cfg);
     util::Stopwatch phase1_timer;
-    presence_storage->train(all_jocs.gather_rows(train_rows), train_labels);
+    {
+      // Per-phase budget: tighten the deadline for phase 1 only. An expired
+      // deadline truncates autoencoder training at the next epoch boundary
+      // (a partially trained model is still usable), recorded below.
+      runtime::PhaseScope phase1_scope(ctx, config_.phase1_budget_sec);
+      presence_storage->train(all_jocs.gather_rows(train_rows),
+                              train_labels);
+      if (ctx != nullptr && ctx->deadline_expired())
+        result.degradation.add("phase1.autoencoder", "deadline",
+                               "training truncated by wall-clock budget");
+    }
     util::log_debug("FriendSeeker: phase-1 training ",
                     phase1_timer.seconds(), "s");
   }
   PresenceModel& presence = *presence_storage;
 
+  const runtime::MemoryCharge embedding_charge(
+      ctx, universe.pairs.size() * presence.feature_dim() * sizeof(double),
+      "core.embeddings");
   const nn::Matrix embeddings = presence.encode(all_jocs);
   const std::vector<double> phase1_proba =
       presence.predict_proba_encoded(embeddings);
@@ -289,13 +315,34 @@ FriendSeekerResult FriendSeeker::run(
       return true;
     };
 
-    util::Rng svm_rng(config_.seed ^ 0x5117ULL);
+    // Per-phase budget for the whole refinement loop; the loop-top probes
+    // below truncate at iteration boundaries, where the last-good graph
+    // and checkpoint are both current.
+    runtime::PhaseScope phase2_scope(ctx, config_.phase2_budget_sec);
     for (int iteration = start_iteration;
          iteration <= config_.max_iterations; ++iteration) {
+      if (ctx != nullptr && ctx->cancelled()) {
+        result.degradation.add("phase2.refine", "cancelled",
+                               "stopped at iteration boundary; the last "
+                               "checkpoint is current",
+                               iteration - 1, config_.max_iterations);
+        break;
+      }
+      if (ctx != nullptr && ctx->deadline_expired()) {
+        result.degradation.add("phase2.refine", "deadline",
+                               "wall-clock budget exhausted; keeping the "
+                               "last-good graph",
+                               iteration - 1, config_.max_iterations);
+        break;
+      }
       util::Stopwatch iter_timer;
       try {
       // Composite features v = h ⊕ s for every candidate pair on the
-      // current graph.
+      // current graph. The charge also stands in for the k-hop subgraph
+      // working set, which is bounded by the composite width per pair.
+      const runtime::MemoryCharge composite_charge(
+          ctx, universe.pairs.size() * composite_width * sizeof(double),
+          "core.phase2.composite");
       nn::Matrix composite(universe.pairs.size(), composite_width);
       for (std::size_t i = 0; i < universe.pairs.size(); ++i) {
         const auto [a, b] = universe.pairs[i];
@@ -311,6 +358,13 @@ FriendSeekerResult FriendSeeker::run(
       }
 
       // Train C' on the labeled pairs (subsampled under the kernel cap).
+      // The RNG is derived from (seed, iteration) alone — never from how
+      // many iterations this process has executed — so a run resumed from
+      // a checkpoint subsamples identically to an uninterrupted one
+      // (resume-equivalence).
+      util::Rng svm_rng(config_.seed ^ 0x5117ULL ^
+                        (static_cast<std::uint64_t>(iteration) *
+                         0x9e3779b97f4a7c15ULL));
       std::vector<std::size_t> svm_rows = train_rows;
       std::vector<int> svm_labels = train_labels;
       if (svm_rows.size() > config_.max_svm_train_rows) {
@@ -341,6 +395,7 @@ FriendSeekerResult FriendSeeker::run(
       } else {
         ml::SvmConfig svm_cfg = config_.svm;
         svm_cfg.seed ^= static_cast<std::uint64_t>(iteration);
+        svm_cfg.context = ctx;
         ml::SvmClassifier svm(svm_cfg);
         svm.fit(svm_train, svm_labels);
         decision = svm.decision(all_scaled);
@@ -386,24 +441,46 @@ FriendSeekerResult FriendSeeker::run(
                       " edges=", current.edge_count(), " change=", change,
                       " (", iter_timer.seconds(), "s)");
       save_checkpoint_if_configured(iteration);
+      // Simulated process kill at the iteration boundary, after the
+      // checkpoint save. InjectedKill is not an fs::Error, so the
+      // degradation catch below cannot swallow it — it unwinds to the top
+      // like a real crash and the chaos harness resumes from disk.
+      if (util::failpoint::fail("pipeline.iteration.abort"))
+        throw util::failpoint::InjectedKill(
+            "pipeline.iteration.abort: injected kill after iteration " +
+            std::to_string(iteration));
       if (change < config_.convergence_threshold) {
         result.converged = true;
         break;
       }
       } catch (const Error& e) {
-        if (e.code() != ErrorCode::kNumeric &&
-            e.code() != ErrorCode::kConvergence)
+        const ErrorCode code = e.code();
+        if (code != ErrorCode::kNumeric &&
+            code != ErrorCode::kConvergence &&
+            code != ErrorCode::kBudget && code != ErrorCode::kCancelled)
           throw;
-        // Numeric divergence in phase 2 degrades gracefully: keep the
+        // Recoverable failures in phase 2 degrade gracefully: keep the
         // last-good graph (possibly the phase-1 seed) instead of failing
-        // the whole attack.
-        diagnostics.report(util::Severity::kError, e.code(), "pipeline",
+        // the whole attack. Numeric divergence keeps its diagnostics-only
+        // reporting; budget/cancellation additionally land in the
+        // structured DegradationReport.
+        diagnostics.report(util::Severity::kError, code, "pipeline",
                            "phase-2 iteration " + std::to_string(iteration) +
-                               " diverged, keeping last-good graph: " +
+                               " abandoned, keeping last-good graph: " +
                                e.what());
+        if (code == ErrorCode::kBudget || code == ErrorCode::kCancelled)
+          result.degradation.add(
+              "phase2.refine",
+              code == ErrorCode::kCancelled ? "cancelled" : "memory",
+              e.what(), iteration - 1, config_.max_iterations);
         break;
       }
     }
+    if (ctx != nullptr && !result.converged && !result.degradation.degraded() &&
+        result.iterations_run == config_.max_iterations)
+      result.degradation.add("phase2.refine", "iterations",
+                             "iteration cap reached before convergence",
+                             result.iterations_run, config_.max_iterations);
     result.fell_back_to_phase1 =
         result.iterations.size() == 1 &&
         result.iterations.front().iteration == 0;
@@ -416,6 +493,7 @@ FriendSeekerResult FriendSeeker::run(
     result.test_scores.push_back(scores[row]);
   }
   result.final_graph = std::move(current);
+  if (ctx != nullptr) result.peak_memory_estimate = ctx->peak_charged();
   return result;
 }
 

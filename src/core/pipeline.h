@@ -15,6 +15,7 @@
 #include "ml/logistic.h"
 #include "ml/svm.h"
 #include "util/error.h"
+#include "util/runtime.h"
 
 namespace fs::core {
 
@@ -64,6 +65,18 @@ struct FriendSeekerConfig {
   /// the run restarts cleanly from phase 1.
   bool resume = false;
 
+  // ---- Execution governance ----
+  /// Optional runtime governance (deadline, cancellation token, memory
+  /// budget). Threaded through every heavy loop: the JOC build, autoencoder
+  /// epochs, SMO passes, and the phase-2 refinement loop. Null = unlimited.
+  runtime::ExecutionContext* context = nullptr;
+  /// Per-phase wall-clock budgets in seconds, applied as PhaseScope
+  /// tightening on top of the context deadline (0 = no per-phase budget).
+  /// Expiry truncates the phase at the next safe boundary and records the
+  /// loss in the result's DegradationReport instead of failing the run.
+  double phase1_budget_sec = 0.0;
+  double phase2_budget_sec = 0.0;
+
   std::uint64_t seed = 99;
 };
 
@@ -92,6 +105,12 @@ struct FriendSeekerResult {
   /// Everything the run degraded on: quarantined records, divergence
   /// retries, rejected checkpoints, fallbacks.
   util::Diagnostics diagnostics;
+  /// Phases truncated by governance (deadline, memory budget, cancellation,
+  /// iteration cap); empty on an ungoverned or fully completed run.
+  runtime::DegradationReport degradation;
+  /// Peak of the context's charged-memory estimate during this run, in
+  /// bytes (0 when no context was supplied).
+  std::size_t peak_memory_estimate = 0;
 };
 
 /// One trained attack instance. `run` trains on the labeled pairs and

@@ -45,6 +45,7 @@ void PresenceModel::train(const nn::Matrix& jocs,
   ae.batch_size = config_.batch_size;
   ae.seed = config_.seed;
   ae.diagnostics = config_.diagnostics;
+  ae.context = config_.context;
   autoencoder_.emplace(ae);
 
   // "A small number of raw JOC samples" trains the autoencoder; subsample

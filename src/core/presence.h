@@ -40,6 +40,9 @@ struct PresenceModelConfig {
   std::uint64_t seed = 13;
   /// Optional sink for autoencoder divergence reports (not serialized).
   fs::util::Diagnostics* diagnostics = nullptr;
+  /// Optional execution governance (cancellation + deadline truncation for
+  /// autoencoder training). Not serialized.
+  fs::runtime::ExecutionContext* context = nullptr;
 };
 
 /// Builds the encoder layer widths for a given input size: repeated halving

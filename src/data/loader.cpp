@@ -134,12 +134,38 @@ void quarantine(LineOutcome outcome, std::string_view line,
     report.sample_bad_lines.emplace_back(line);
 }
 
-std::ifstream open_or_throw(const std::string& path) {
-  if (util::failpoint::fail("data.load.open"))
-    throw IoError("load_checkins_snap: injected open failure for " + path);
-  std::ifstream file(path);
-  if (!file) throw IoError("load_checkins_snap: cannot open " + path);
-  return file;
+/// Opens the file under the options' retry policy: transient failures
+/// (injected or real) are retried with exponential backoff and reported
+/// into the diagnostics sink; the last failure's IoError propagates.
+std::ifstream open_or_throw(const std::string& path,
+                            const LoadOptions& options) {
+  runtime::Retrier retrier(options.open_retry);
+  while (true) {
+    try {
+      if (util::failpoint::fail("data.load.open"))
+        throw IoError("load_checkins_snap: injected open failure for " +
+                      path);
+      std::ifstream file(path);
+      if (!file) throw IoError("load_checkins_snap: cannot open " + path);
+      return file;
+    } catch (const IoError& e) {
+      if (!retrier.retry()) throw;
+      if (options.diagnostics != nullptr)
+        options.diagnostics->report(
+            util::Severity::kWarning, ErrorCode::kIo, "loader",
+            std::string("open failed (attempt ") +
+                std::to_string(retrier.failures()) + "), retrying: " +
+                e.what());
+    }
+  }
+}
+
+/// Cooperative cancellation point, amortized over the line counter.
+constexpr std::size_t kGovernanceStride = 4096;
+
+void governance_check(const LoadOptions& options, std::size_t line_number) {
+  if (options.context != nullptr && line_number % kGovernanceStride == 0)
+    options.context->checkpoint("data.load");
 }
 
 }  // namespace
@@ -174,11 +200,12 @@ Dataset load_checkins_snap(const std::string& checkins_path,
   // a map entry, not their full record set. ----
   std::unordered_map<long long, std::size_t> user_checkin_count;
   {
-    std::ifstream checkin_file = open_or_throw(checkins_path);
+    std::ifstream checkin_file = open_or_throw(checkins_path, options);
     std::string line;
     std::size_t line_number = 0;
     while (std::getline(checkin_file, line)) {
       ++line_number;
+      governance_check(options, line_number);
       const auto trimmed = util::trim(line);
       if (trimmed.empty()) continue;
       ++rep.checkin_lines;
@@ -219,9 +246,11 @@ Dataset load_checkins_snap(const std::string& checkins_path,
   std::vector<Poi> pois;
   std::vector<CheckIn> checkins;
   {
-    std::ifstream checkin_file = open_or_throw(checkins_path);
+    std::ifstream checkin_file = open_or_throw(checkins_path, options);
     std::string line;
+    std::size_t line_number = 0;
     while (std::getline(checkin_file, line)) {
+      governance_check(options, ++line_number);
       const auto trimmed = util::trim(line);
       if (trimmed.empty()) continue;
       RawCheckin rc;
@@ -237,12 +266,13 @@ Dataset load_checkins_snap(const std::string& checkins_path,
     }
   }
 
-  std::ifstream edge_file = open_or_throw(edges_path);
+  std::ifstream edge_file = open_or_throw(edges_path, options);
   graph::Graph g(user_map.size());
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(edge_file, line)) {
     ++line_number;
+    governance_check(options, line_number);
     const auto trimmed = util::trim(line);
     if (trimmed.empty()) continue;
     ++rep.edge_lines;

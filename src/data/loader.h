@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "util/error.h"
+#include "util/runtime.h"
 
 namespace fs::data {
 
@@ -34,6 +36,23 @@ struct LoadOptions {
   Strictness strictness = Strictness::kStrict;
   /// How many quarantined lines to keep verbatim in the report.
   std::size_t max_sample_lines = 5;
+  /// Retry policy for opening the input files (transient I/O: NFS hiccups,
+  /// slow mounts). Each retry is reported into `diagnostics` when set;
+  /// exhausted retries surface the original fs::IoError.
+  runtime::RetryPolicy open_retry = open_retry_defaults();
+  /// Optional sink for retry/degradation reports during loading.
+  util::Diagnostics* diagnostics = nullptr;
+  /// Optional governance: a cooperative cancellation point runs every few
+  /// thousand lines (a partial dataset is never usable, so both
+  /// cancellation and deadline expiry abort the load with a typed error).
+  runtime::ExecutionContext* context = nullptr;
+
+  static runtime::RetryPolicy open_retry_defaults() {
+    runtime::RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.backoff_ms = 1.0;
+    return policy;
+  }
 };
 
 /// Per-category census of what permissive loading quarantined. Counters

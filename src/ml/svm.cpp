@@ -77,7 +77,10 @@ void SvmClassifier::fit(const nn::Matrix& features,
                               : 1.0 / static_cast<double>(dim);
   }
 
-  // Precomputed kernel matrix (symmetric; memory guarded by max_train_rows).
+  // Precomputed kernel matrix (symmetric; memory guarded by max_train_rows
+  // and charged against the run's memory budget when governed).
+  const runtime::MemoryCharge kernel_charge(
+      config_.context, n * n * sizeof(double), "ml.svm.kernel");
   nn::Matrix K(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     K(i, i) = 1.0;
@@ -106,6 +109,12 @@ void SvmClassifier::fit(const nn::Matrix& features,
   int iterations = 0;
   while (passes < config_.max_passes &&
          iterations++ < config_.max_iterations) {
+    if (config_.context != nullptr) {
+      config_.context->throw_if_cancelled("ml.svm.fit");
+      // Past the deadline the current alphas are kept: SMO's intermediate
+      // state is a feasible (just less converged) dual solution.
+      if (config_.context->deadline_expired()) break;
+    }
     int changed = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const double e_i = decision_i(i) - y[i];

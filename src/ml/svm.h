@@ -12,6 +12,7 @@
 
 #include "nn/matrix.h"
 #include "util/binary_io.h"
+#include "util/runtime.h"
 
 namespace fs::ml {
 
@@ -25,6 +26,11 @@ struct SvmConfig {
   /// Hard cap on training rows (kernel matrix memory guard). fit() throws
   /// if exceeded — callers subsample explicitly, never silently.
   std::size_t max_train_rows = 4000;
+  /// Optional governance: the kernel matrix is charged against the memory
+  /// budget, cancellation is checked per SMO sweep, and an expired deadline
+  /// stops sweeping early (the current alphas are a valid, if less
+  /// converged, model). Not serialized.
+  fs::runtime::ExecutionContext* context = nullptr;
 };
 
 class SvmClassifier {

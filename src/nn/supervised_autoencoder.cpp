@@ -76,7 +76,7 @@ void SupervisedAutoencoder::save(util::BinaryWriter& writer) const {
   writer.u64(config_.seed);
   writer.u64(config_.mean_reconstruction_loss ? 1 : 0);
   writer.f64(config_.gradient_clip);
-  writer.i64(config_.divergence_retries);
+  writer.i64(config_.retry.max_attempts);
   writer.f64(config_.retry_lr_backoff);
   encoder_.save(writer);
   decoder_.save(writer);
@@ -98,7 +98,7 @@ SupervisedAutoencoder SupervisedAutoencoder::load(
   cfg.seed = reader.u64();
   cfg.mean_reconstruction_loss = reader.u64() != 0;
   cfg.gradient_clip = reader.f64();
-  cfg.divergence_retries = static_cast<int>(reader.i64());
+  cfg.retry.max_attempts = static_cast<int>(reader.i64());
   cfg.retry_lr_backoff = reader.f64();
   Mlp encoder = Mlp::load(reader);
   Mlp decoder = Mlp::load(reader);
@@ -135,24 +135,26 @@ std::vector<EpochStats> SupervisedAutoencoder::train(
     throw std::invalid_argument("train: empty training set");
 
   double learning_rate = config_.learning_rate;
-  const int attempts = 1 + std::max(0, config_.divergence_retries);
-  for (int attempt = 0;; ++attempt) {
+  runtime::Retrier retrier(config_.retry);
+  while (true) {
     try {
       return train_once(inputs, labels, learning_rate);
     } catch (const NumericError& e) {
-      if (attempt + 1 >= attempts)
+      if (!retrier.retry())
         throw ConvergenceError(
             std::string("SupervisedAutoencoder: training diverged after ") +
-            std::to_string(attempts) + " attempts (" + e.what() + ")");
+            std::to_string(retrier.failures()) + " attempts (" + e.what() +
+            ")");
       learning_rate *= config_.retry_lr_backoff;
       if (config_.diagnostics != nullptr)
         config_.diagnostics->report(
             util::Severity::kWarning, ErrorCode::kNumeric, "autoencoder",
-            std::string("divergent attempt ") + std::to_string(attempt + 1) +
-                " (" + e.what() + "); reinitializing with learning rate " +
+            std::string("divergent attempt ") +
+                std::to_string(retrier.failures()) + " (" + e.what() +
+                "); reinitializing with learning rate " +
                 std::to_string(learning_rate));
       // Fresh weights: NaNs may already be inside the parameters.
-      reinitialize(static_cast<std::uint64_t>(attempt) + 1);
+      reinitialize(static_cast<std::uint64_t>(retrier.failures()));
     }
   }
 }
@@ -171,6 +173,19 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
           : 1.0;
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.context != nullptr) {
+      config_.context->throw_if_cancelled("nn.train");
+      if (config_.context->deadline_expired()) {
+        // Truncating at an epoch boundary keeps a usable (if under-trained)
+        // model — degrade instead of throwing away the completed epochs.
+        if (config_.diagnostics != nullptr)
+          config_.diagnostics->report(
+              util::Severity::kWarning, ErrorCode::kBudget, "autoencoder",
+              "training truncated at epoch " + std::to_string(epoch) + "/" +
+                  std::to_string(config_.epochs) + " (deadline exceeded)");
+        break;
+      }
+    }
     shuffle_rng.shuffle(order);
     EpochStats stats;
     std::size_t batches = 0;

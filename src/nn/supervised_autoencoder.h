@@ -14,6 +14,7 @@
 
 #include "nn/layers.h"
 #include "util/error.h"
+#include "util/runtime.h"
 
 namespace fs::nn {
 
@@ -42,13 +43,26 @@ struct AutoencoderConfig {
   // ---- Numeric guards (fault tolerance, not part of Algorithm 1) ----
   /// Per-element cap on loss gradients before backprop; 0 disables.
   double gradient_clip = 5.0;
-  /// How many times a diverging run (NaN/Inf loss) is restarted with fresh
-  /// weights and a backed-off learning rate before giving up.
-  int divergence_retries = 1;
-  /// Learning-rate multiplier applied on each divergence retry.
+  /// Retry budget for diverging runs (NaN/Inf loss): each failed attempt
+  /// reinitializes the weights and retries under this policy's backoff.
+  /// max_attempts counts the first attempt, so the default allows 1 retry.
+  fs::runtime::RetryPolicy retry = divergence_retry_defaults();
+  /// Learning-rate multiplier applied on each divergence retry (the
+  /// domain-specific part of "backing off" a trainer, on top of the
+  /// policy's wall-clock backoff).
   double retry_lr_backoff = 0.5;
   /// Optional sink for divergence/retry reports (not serialized).
   fs::util::Diagnostics* diagnostics = nullptr;
+  /// Optional governance: cancellation is checked and the deadline enforced
+  /// (by truncating at an epoch boundary) during training. Not serialized.
+  fs::runtime::ExecutionContext* context = nullptr;
+
+  static fs::runtime::RetryPolicy divergence_retry_defaults() {
+    fs::runtime::RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.backoff_ms = 0.0;  // divergence retries burn no wall-clock
+    return policy;
+  }
 };
 
 struct EpochStats {
@@ -66,9 +80,14 @@ class SupervisedAutoencoder {
   ///
   /// Numeric robustness: gradients are clipped per element; a NaN/Inf loss
   /// aborts the attempt, and training restarts with fresh weights and a
-  /// backed-off learning rate (config.divergence_retries times). Repeated
-  /// divergence throws fs::ConvergenceError; each retry is reported into
+  /// backed-off learning rate under config.retry. Exhausting the retry
+  /// budget throws fs::ConvergenceError; each retry is reported into
   /// config.diagnostics when set.
+  ///
+  /// Governance (config.context): cancellation throws fs::CancelledError at
+  /// the next epoch boundary; an expired deadline truncates training there
+  /// instead — the partially trained model is kept (graceful degradation)
+  /// and the truncation is reported into config.diagnostics.
   std::vector<EpochStats> train(const Matrix& inputs,
                                 const std::vector<int>& labels);
 

@@ -13,6 +13,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNumeric: return "NumericError";
     case ErrorCode::kCorruptCheckpoint: return "CorruptCheckpoint";
     case ErrorCode::kConvergence: return "ConvergenceError";
+    case ErrorCode::kCancelled: return "CancelledError";
+    case ErrorCode::kBudget: return "BudgetError";
   }
   return "UnknownError";
 }

@@ -24,6 +24,8 @@ enum class ErrorCode {
   kNumeric,           // NaN/Inf loss, gradient, feature, or score
   kCorruptCheckpoint, // bad magic/version/CRC/truncation in a checkpoint
   kConvergence,       // training diverged beyond the retry budget
+  kCancelled,         // cooperative cancellation (SIGINT/SIGTERM, caller)
+  kBudget,            // deadline, memory, or iteration budget exhausted
 };
 
 const char* error_code_name(ErrorCode code);
@@ -66,6 +68,22 @@ class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& message)
       : Error(ErrorCode::kConvergence, message) {}
+};
+
+/// Thrown at a cooperative cancellation point once cancellation was
+/// requested; the run stops at the next safe boundary instead of mid-write.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& message)
+      : Error(ErrorCode::kCancelled, message) {}
+};
+
+/// Thrown when a wall-clock or memory budget would be exceeded; callers
+/// with last-good state degrade instead of propagating.
+class BudgetError : public Error {
+ public:
+  explicit BudgetError(const std::string& message)
+      : Error(ErrorCode::kBudget, message) {}
 };
 
 namespace util {

@@ -110,6 +110,33 @@ std::uint64_t triggers(const std::string& name) {
   return it == registry().end() ? 0 : it->second.triggers;
 }
 
+const std::vector<KnownFailpoint>& known_failpoints() {
+  static const std::vector<KnownFailpoint> table = {
+      {"checkpoint.load.truncate", "truncate",
+       "drop the tail of a checkpoint read (torn write / short read); the "
+       "loader must reject it as CorruptCheckpoint"},
+      {"checkpoint.save.io", "error",
+       "fail a checkpoint save before anything is written; the run "
+       "continues, losing only resumability"},
+      {"checkpoint.save.rename", "error",
+       "fail the temp-file rename after the payload was written; the saver "
+       "must clean up the stray .tmp file"},
+      {"data.load.open", "error",
+       "fail opening the check-in/edge file; retried under the loader's "
+       "RetryPolicy before surfacing IoError"},
+      {"ml.svm.nan", "nan",
+       "poison the SVM's input features with a non-finite value; fit() "
+       "throws NumericError and phase 2 keeps its last-good graph"},
+      {"nn.train.nan", "nan",
+       "poison one autoencoder batch loss; training reinitializes with a "
+       "backed-off learning rate under its RetryPolicy"},
+      {"pipeline.iteration.abort", "error",
+       "simulate a process kill at a phase-2 iteration boundary (after the "
+       "checkpoint save); throws InjectedKill, resumable via --resume"},
+  };
+  return table;
+}
+
 void init_from_env() {
   const char* env = std::getenv("FS_FAILPOINTS");
   if (env == nullptr || *env == '\0') return;

@@ -20,7 +20,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace fs::util::failpoint {
 
@@ -54,6 +56,33 @@ std::uint64_t triggers(const std::string& name);
 /// Parses FS_FAILPOINTS. Runs automatically on the first evaluation; safe
 /// to call again (re-reads the variable on explicit calls).
 void init_from_env();
+
+// ---- compiled-in registry ---------------------------------------------
+
+/// A failpoint baked into the sources: its name, the action(s) its call
+/// site honours, and what firing it simulates. Chaos schedules are authored
+/// against this table (`friendseeker --list-failpoints`) instead of
+/// grepping the code. Any entry additionally accepts `latency` (delay
+/// without failing).
+struct KnownFailpoint {
+  const char* name;
+  const char* actions;  // e.g. "error", "nan", "truncate"
+  const char* description;
+};
+
+/// Every failpoint compiled into the binaries, sorted by name.
+const std::vector<KnownFailpoint>& known_failpoints();
+
+/// Thrown by the `pipeline.iteration.abort` call site to simulate a
+/// process kill at an iteration boundary. Deliberately NOT derived from
+/// fs::Error: no graceful-degradation catch may swallow it, so it unwinds
+/// to the top level exactly like a crash would (modulo destructors) and
+/// the chaos harness resumes from the on-disk checkpoint.
+class InjectedKill : public std::runtime_error {
+ public:
+  explicit InjectedKill(const std::string& message)
+      : std::runtime_error(message) {}
+};
 
 // ---- call-site helpers ------------------------------------------------
 // Each evaluates the named failpoint once (consuming skip/limit budget).

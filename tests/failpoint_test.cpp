@@ -239,6 +239,25 @@ TEST_F(FailpointTest, PipelineSurvivesCheckpointSaveFailure) {
   EXPECT_GE(result.diagnostics.entries().size(), 1u);
 }
 
+TEST_F(FailpointTest, FailedRenameLeavesNoStrayTempFile) {
+  SmallExperiment exp = make_small_experiment();
+  const std::string dir = testing::TempDir() + "/fs_fp_renamefail";
+  std::filesystem::remove_all(dir);
+  exp.config.checkpoint_dir = dir;
+  exp.config.max_iterations = 1;
+  fp::activate("checkpoint.save.rename", fp::Action::kError);
+  core::FriendSeeker seeker(exp.config);
+  const auto result =
+      seeker.run(exp.dataset, exp.split.train_pairs, exp.split.train_labels,
+                 exp.split.test_pairs);
+  // The save failed after the temp file was fully written: the writer must
+  // remove it again, never leaving a half-promoted checkpoint behind.
+  EXPECT_EQ(result.test_predictions.size(), exp.split.test_pairs.size());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/checkpoint.fsck"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/checkpoint.fsck.tmp"));
+  EXPECT_GE(result.diagnostics.entries().size(), 1u);
+}
+
 TEST_F(FailpointTest, ResumeRejectsTruncatedCheckpointAndRestarts) {
   SmallExperiment exp = make_small_experiment();
   const std::string dir = testing::TempDir() + "/fs_fp_truncated";

@@ -1,0 +1,452 @@
+// chaos_soak — randomized, seeded fault-injection soak for the FriendSeeker
+// pipeline.
+//
+//   chaos_soak [--runs N] [--seed S] [--users U] [--budget-mode] [--help]
+//
+// Soak mode (the default) generates a small synthetic world, runs one
+// uninterrupted baseline attack, then replays the same attack N times under
+// seeded failpoint schedules drawn from the compiled-in registry: injected
+// kills at iteration boundaries (resumed from the on-disk checkpoint),
+// checkpoint save/rename/load faults, transient loader I/O failures,
+// latency injection, and NaN-poisoned training. After every run it checks
+// three invariants:
+//
+//   1. resume-equivalence — runs whose faults are all equivalence-preserving
+//      (kills, checkpoint I/O faults, retried opens, latency) end
+//      byte-identical to the baseline;
+//   2. no partial checkpoint files — a checkpoint.fsck.tmp must never
+//      survive any attempt, killed or not;
+//   3. fault accounting — every fault that fired maps to an observed kill,
+//      a diagnostics entry, or is latency-only; nothing fails silently.
+//
+// Budget mode (--budget-mode) instead exercises graceful degradation:
+// memory-capped and deadline-capped runs must complete with exit status 0,
+// a last-good result, and a populated DegradationReport.
+//
+// The schedule stream is fully determined by --seed, so a CI failure
+// reproduces locally with the same flags.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "eval/pairs.h"
+#include "graph/metrics.h"
+#include "util/args.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/runtime.h"
+
+namespace {
+
+using namespace fs;
+namespace fp = util::failpoint;
+
+struct ScheduledFault {
+  std::string name;
+  fp::Config config;
+};
+
+struct Schedule {
+  std::vector<ScheduledFault> faults;
+  bool has_kill = false;
+  bool perturbs_model = false;  // NaN faults change the trained model
+};
+
+struct SoakOptions {
+  int runs = 25;
+  std::uint64_t seed = 1;
+  std::size_t users = 90;
+  std::string work_dir;
+};
+
+struct Violation {
+  int run = 0;
+  std::string invariant;
+  std::string detail;
+};
+
+struct World {
+  data::Dataset dataset;
+  eval::PairSplit split;
+  core::FriendSeekerConfig config;
+  std::string checkins_path;
+  std::string edges_path;
+};
+
+World make_world(const SoakOptions& options) {
+  data::SyntheticWorldConfig world_cfg;
+  world_cfg.user_count = options.users;
+  world_cfg.poi_count = options.users * 3;
+  world_cfg.city_count = 3;
+  world_cfg.weeks = 4;
+  world_cfg.seed = 9;
+  const auto generated = data::generate_world(world_cfg);
+
+  World world;
+  world.checkins_path = options.work_dir + "/checkins.txt";
+  world.edges_path = options.work_dir + "/edges.txt";
+  data::save_checkins_snap(generated.dataset, world.checkins_path,
+                           world.edges_path);
+  // Reload from disk so every soak run (which reloads under fault
+  // injection) sees the identical post-densification dataset.
+  world.dataset =
+      data::load_checkins_snap(world.checkins_path, world.edges_path);
+  world.split =
+      eval::split_pairs(eval::sample_candidate_pairs(world.dataset), 0.7, 5);
+
+  core::FriendSeekerConfig cfg;
+  cfg.sigma = 50;
+  cfg.presence.feature_dim = 12;
+  cfg.presence.epochs = 3;
+  cfg.presence.max_autoencoder_rows = 120;
+  cfg.max_iterations = 4;
+  // Never converge early: a fixed iteration count makes kill schedules
+  // cover every boundary and keeps run time predictable.
+  cfg.convergence_threshold = 0.0;
+  world.config = cfg;
+  return world;
+}
+
+/// One seeded schedule. Kill runs inject `pipeline.iteration.abort` plus
+/// (sometimes) an equivalence-preserving checkpoint or loader fault, timed
+/// so its evidence lands in the final (surviving) attempt's diagnostics.
+/// Every sixth run is instead a model-perturbing NaN run.
+Schedule make_schedule(int run_index, const SoakOptions& options,
+                       int max_iterations) {
+  util::Rng rng(options.seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<std::uint64_t>(run_index));
+  Schedule schedule;
+  if (run_index % 6 == 5) {
+    // NaN run: poison one training step; the pipeline retries or degrades.
+    schedule.perturbs_model = true;
+    ScheduledFault fault;
+    fault.name = rng.uniform() < 0.5 ? "nn.train.nan" : "ml.svm.nan";
+    fault.config.action = fp::Action::kNan;
+    fault.config.limit = 1;
+    schedule.faults.push_back(fault);
+    return schedule;
+  }
+
+  schedule.has_kill = true;
+  const int kill_after =
+      1 + static_cast<int>(
+              rng.next_u64(static_cast<std::uint64_t>(max_iterations)));
+  ScheduledFault kill;
+  kill.name = "pipeline.iteration.abort";
+  kill.config.action = fp::Action::kError;
+  kill.config.skip = kill_after - 1;
+  kill.config.limit = 1;
+  schedule.faults.push_back(kill);
+
+  const double extra = rng.uniform();
+  if (extra < 0.25 && kill_after < max_iterations) {
+    // A checkpoint save fault timed to fire in the post-kill attempt, so
+    // the surviving result's diagnostics carry the evidence.
+    ScheduledFault save;
+    save.name = rng.uniform() < 0.5 ? "checkpoint.save.io"
+                                    : "checkpoint.save.rename";
+    save.config.action = fp::Action::kError;
+    save.config.skip =
+        kill_after +
+        static_cast<int>(rng.next_u64(
+            static_cast<std::uint64_t>(max_iterations - kill_after)));
+    save.config.limit = 1;
+    schedule.faults.push_back(save);
+  } else if (extra < 0.5) {
+    // The resume load sees a torn checkpoint and restarts from phase 1.
+    ScheduledFault torn;
+    torn.name = "checkpoint.load.truncate";
+    torn.config.action = fp::Action::kTruncate;
+    torn.config.limit = 1;
+    schedule.faults.push_back(torn);
+  } else if (extra < 0.75) {
+    // Transient open failure, absorbed by the loader's retry policy.
+    ScheduledFault open_fault;
+    open_fault.name = "data.load.open";
+    open_fault.config.action = fp::Action::kError;
+    open_fault.config.limit = 1;
+    schedule.faults.push_back(open_fault);
+  } else {
+    // Pure latency: must be behaviourally invisible.
+    ScheduledFault latency;
+    latency.name = "data.load.open";
+    latency.config.action = fp::Action::kLatency;
+    latency.config.latency_ms = 1;
+    latency.config.limit = 2;
+    schedule.faults.push_back(latency);
+  }
+  return schedule;
+}
+
+std::size_t count_diagnostics(const util::Diagnostics& diagnostics,
+                              const char* needle) {
+  std::size_t hits = 0;
+  for (const auto& entry : diagnostics.entries())
+    if (entry.message.find(needle) != std::string::npos) ++hits;
+  return hits;
+}
+
+bool scores_identical(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+int run_soak(const SoakOptions& options) {
+  const World world = make_world(options);
+  std::printf("chaos_soak: world users=%zu pairs=%zu seed=%llu runs=%d\n",
+              world.dataset.user_count(),
+              world.split.train_pairs.size() + world.split.test_pairs.size(),
+              static_cast<unsigned long long>(options.seed), options.runs);
+
+  core::FriendSeeker baseline_seeker(world.config);
+  const core::FriendSeekerResult baseline = baseline_seeker.run(
+      world.dataset, world.split.train_pairs, world.split.train_labels,
+      world.split.test_pairs);
+  std::printf("chaos_soak: baseline iterations=%d edges=%zu\n",
+              baseline.iterations_run, baseline.final_graph.edge_count());
+
+  std::vector<Violation> violations;
+  const auto violation = [&](int run, std::string invariant,
+                             std::string detail) {
+    violations.push_back(
+        Violation{run, std::move(invariant), std::move(detail)});
+  };
+
+  int interrupted_and_resumed = 0;
+  std::uint64_t total_fired = 0;
+  for (int run = 0; run < options.runs; ++run) {
+    const Schedule schedule =
+        make_schedule(run, options, world.config.max_iterations);
+    const std::string checkpoint_dir =
+        options.work_dir + "/run_" + std::to_string(run);
+    std::filesystem::remove_all(checkpoint_dir);
+
+    fp::clear();
+    for (const ScheduledFault& fault : schedule.faults)
+      fp::activate(fault.name, fault.config);
+
+    core::FriendSeekerConfig cfg = world.config;
+    cfg.checkpoint_dir = checkpoint_dir;
+    util::Diagnostics loader_diagnostics;  // survives killed attempts
+
+    int kills = 0;
+    bool completed = false;
+    core::FriendSeekerResult result;
+    while (!completed) {
+      const auto check_no_partial = [&] {
+        if (std::filesystem::exists(checkpoint_dir + "/checkpoint.fsck.tmp"))
+          violation(run, "no-partial-checkpoint",
+                    "stray checkpoint.fsck.tmp after attempt");
+      };
+      try {
+        // Reload from disk each attempt: loader faults (retried opens,
+        // latency) are part of the schedule.
+        data::LoadOptions load_options;
+        load_options.diagnostics = &loader_diagnostics;
+        const data::Dataset dataset = data::load_checkins_snap(
+            world.checkins_path, world.edges_path, load_options);
+        core::FriendSeeker seeker(cfg);
+        result = seeker.run(dataset, world.split.train_pairs,
+                            world.split.train_labels, world.split.test_pairs);
+        completed = true;
+        check_no_partial();
+      } catch (const fp::InjectedKill&) {
+        ++kills;
+        check_no_partial();
+        if (kills > 8) {
+          violation(run, "liveness", "kill budget never exhausted");
+          break;
+        }
+        cfg.resume = true;  // come back from the on-disk checkpoint
+      } catch (const std::exception& e) {
+        violation(run, "liveness",
+                  std::string("run died on un-degradable fault: ") +
+                      e.what());
+        break;
+      }
+    }
+    if (!completed) continue;
+    if (kills > 0) ++interrupted_and_resumed;
+
+    // ---- invariant: every fired fault is accounted for. ----
+    for (const ScheduledFault& fault : schedule.faults) {
+      const std::uint64_t fired = fp::triggers(fault.name);
+      total_fired += fired;
+      if (fired == 0) continue;
+      bool accounted = false;
+      std::string evidence;
+      if (fault.name == "pipeline.iteration.abort") {
+        accounted = static_cast<std::uint64_t>(kills) == fired;
+        evidence = std::to_string(kills) + " observed kills";
+      } else if (fault.config.action == fp::Action::kLatency) {
+        accounted = true;  // latency is delay-only by contract
+      } else if (fault.name == "data.load.open") {
+        accounted = count_diagnostics(loader_diagnostics, "retrying") >=
+                    fired;
+        evidence = "loader retry diagnostics";
+      } else if (fault.name == "checkpoint.save.io" ||
+                 fault.name == "checkpoint.save.rename") {
+        accounted = count_diagnostics(result.diagnostics,
+                                      "checkpoint save failed") >= fired;
+        evidence = "pipeline save-failure diagnostics";
+      } else if (fault.name == "checkpoint.load.truncate") {
+        accounted =
+            count_diagnostics(result.diagnostics, "cannot resume") >= fired;
+        evidence = "pipeline rejected-checkpoint diagnostics";
+      } else if (fault.name == "nn.train.nan" ||
+                 fault.name == "ml.svm.nan") {
+        for (const auto& entry : result.diagnostics.entries())
+          if (entry.code == ErrorCode::kNumeric ||
+              entry.code == ErrorCode::kConvergence)
+            accounted = true;
+        evidence = "numeric-degradation diagnostics";
+      }
+      if (!accounted)
+        violation(run, "fault-accounting",
+                  fault.name + " fired " + std::to_string(fired) +
+                      "x but left no trace (" + evidence + ")");
+    }
+
+    // ---- invariant: equivalence-preserving runs match the baseline. ----
+    if (!schedule.perturbs_model) {
+      if (result.test_predictions != baseline.test_predictions)
+        violation(run, "resume-equivalence", "test predictions diverged");
+      if (!scores_identical(result.test_scores, baseline.test_scores))
+        violation(run, "resume-equivalence",
+                  "test scores are not byte-identical");
+      if (graph::edge_change_ratio(result.final_graph,
+                                   baseline.final_graph) != 0.0)
+        violation(run, "resume-equivalence", "final graph diverged");
+    }
+
+    std::filesystem::remove_all(checkpoint_dir);
+  }
+
+  fp::clear();
+  std::printf("chaos_soak: %d/%d runs interrupted+resumed, %llu faults "
+              "fired, %zu invariant violations\n",
+              interrupted_and_resumed, options.runs,
+              static_cast<unsigned long long>(total_fired),
+              violations.size());
+  for (const Violation& v : violations)
+    std::fprintf(stderr, "violation (run %d, %s): %s\n", v.run,
+                 v.invariant.c_str(), v.detail.c_str());
+  if (total_fired == 0) {
+    std::fprintf(stderr, "chaos_soak: no faults fired — schedule bug\n");
+    return 1;
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int run_budget_mode(const SoakOptions& options) {
+  const World world = make_world(options);
+  int failures = 0;
+  const auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "budget-mode expectation failed: %s\n", what);
+      ++failures;
+    }
+  };
+
+  const auto attack = [&](core::FriendSeekerConfig cfg) {
+    core::FriendSeeker seeker(cfg);
+    return seeker.run(world.dataset, world.split.train_pairs,
+                      world.split.train_labels, world.split.test_pairs);
+  };
+
+  // Probe the phase-1 footprint, then allow just that much: phase 2 must
+  // degrade to the last-good (phase-1) graph instead of dying.
+  runtime::ExecutionContext probe;
+  core::FriendSeekerConfig probe_cfg = world.config;
+  probe_cfg.context = &probe;
+  probe_cfg.iterate = false;
+  (void)attack(probe_cfg);
+  expect(probe.peak_charged() > 0, "probe charged no memory");
+
+  runtime::ExecutionContext capped;
+  capped.set_memory_limit(probe.peak_charged() + 1024);
+  core::FriendSeekerConfig capped_cfg = world.config;
+  capped_cfg.context = &capped;
+  const core::FriendSeekerResult capped_result = attack(capped_cfg);
+  expect(capped_result.degradation.degraded(),
+         "memory-capped run reported no degradation");
+  expect(!capped_result.degradation.phases.empty() &&
+             capped_result.degradation.phases.front().reason == "memory",
+         "memory-capped run did not degrade on the memory budget");
+  expect(capped_result.test_predictions.size() ==
+             world.split.test_pairs.size(),
+         "memory-capped run returned no last-good predictions");
+  std::printf("budget-mode: memory-capped run degraded as expected:\n%s\n",
+              capped_result.degradation.to_string().c_str());
+
+  // A spent phase-2 deadline truncates at the first iteration boundary.
+  runtime::ExecutionContext timed;
+  core::FriendSeekerConfig timed_cfg = world.config;
+  timed_cfg.context = &timed;
+  timed_cfg.phase2_budget_sec = 1e-9;
+  const core::FriendSeekerResult timed_result = attack(timed_cfg);
+  expect(timed_result.degradation.degraded() &&
+             timed_result.degradation.phases.front().reason == "deadline",
+         "deadline-capped run did not degrade on the deadline");
+  expect(timed_result.iterations_run == 0,
+         "deadline-capped run still iterated");
+
+  // The iteration cap on a governed run is reported, not silent.
+  runtime::ExecutionContext iter_ctx;
+  core::FriendSeekerConfig iter_cfg = world.config;
+  iter_cfg.context = &iter_ctx;
+  iter_cfg.max_iterations = 1;
+  const core::FriendSeekerResult iter_result = attack(iter_cfg);
+  expect(iter_result.degradation.degraded() &&
+             iter_result.degradation.phases.front().reason == "iterations",
+         "iteration-capped run did not report the cap");
+
+  std::printf("budget-mode: %s\n",
+              failures == 0 ? "all degradation paths verified"
+                            : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("runs", "25", "number of seeded chaos runs");
+  args.add_option("seed", "1", "schedule stream seed");
+  args.add_option("users", "90", "synthetic world size");
+  args.add_option("work-dir", "", "scratch directory (default: a temp dir)");
+  args.add_flag("budget-mode",
+                "verify graceful degradation under memory/deadline budgets "
+                "instead of running the soak");
+  args.add_flag("help", "show options");
+  try {
+    args.parse(argc, argv, 1);
+    if (args.get_flag("help")) {
+      std::fprintf(stderr, "usage: chaos_soak [options]\n%s",
+                   args.help().c_str());
+      return 0;
+    }
+    SoakOptions options;
+    options.runs = static_cast<int>(args.get_int("runs"));
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    options.users = static_cast<std::size_t>(args.get_int("users"));
+    options.work_dir = args.get("work-dir");
+    if (options.work_dir.empty())
+      options.work_dir =
+          (std::filesystem::temp_directory_path() / "fs_chaos_soak")
+              .string();
+    std::filesystem::create_directories(options.work_dir);
+    return args.get_flag("budget-mode") ? run_budget_mode(options)
+                                        : run_soak(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos_soak: %s\n", e.what());
+    return 1;
+  }
+}

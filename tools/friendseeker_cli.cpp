@@ -4,9 +4,18 @@
 //   friendseeker stats     CHECKINS EDGES
 //   friendseeker attack    CHECKINS EDGES [--sigma S --tau D --dim D --k K]
 //                          [--permissive] [--checkpoint-dir DIR [--resume]]
+//                          [--deadline-sec S --max-memory-mb M
+//                           --max-iterations N]
 //   friendseeker obfuscate CHECKINS EDGES --mechanism M --ratio R --out DIR
+//   friendseeker --list-failpoints
 //
 // Mechanisms: hide | blur-in | blur-cross | friendguard.
+//
+// `attack` installs SIGINT/SIGTERM handlers: an interrupted run stops at
+// the next cooperative cancellation point, keeps its last checkpoint, and
+// exits with status 130. A run truncated by --deadline-sec or
+// --max-memory-mb degrades gracefully (last-good graph, degradation report
+// on stderr) and exits 0.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -18,7 +27,9 @@
 #include "data/synthetic.h"
 #include "eval/harness.h"
 #include "util/args.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/runtime.h"
 #include "util/table.h"
 
 namespace {
@@ -34,8 +45,22 @@ int usage() {
       "  stats      dataset statistics and co-presence census\n"
       "  attack     run FriendSeeker (and baselines) on a dataset\n"
       "  obfuscate  apply a countermeasure and write the perturbed dataset\n"
+      "\nglobal flags:\n"
+      "  --list-failpoints  print the compiled-in fault-injection registry\n"
       "\nrun 'friendseeker <command> --help' for command options\n");
   return 2;
+}
+
+int list_failpoints() {
+  std::printf("compiled-in failpoints (activate via FS_FAILPOINTS, e.g.\n"
+              "FS_FAILPOINTS=\"data.load.open=error;nn.train.nan=nan:"
+              "limit=2\"):\n\n");
+  for (const auto& fp : util::failpoint::known_failpoints())
+    std::printf("  %-26s %-9s %s\n", fp.name, fp.actions, fp.description);
+  std::printf("\nper-failpoint config: skip=N, limit=N, latency_ms=N; any "
+              "entry also\naccepts the latency action (delay without "
+              "failing).\n");
+  return 0;
 }
 
 data::Dataset load_positional(const util::ArgParser& args,
@@ -135,6 +160,13 @@ int cmd_attack(int argc, char** argv) {
   args.add_option("dim", "64", "presence feature dimension d");
   args.add_option("k", "3", "k-hop subgraph depth");
   args.add_option("iterations", "6", "max refinement iterations");
+  args.add_option("max-iterations", "0",
+                  "alias for --iterations (overrides it when > 0)");
+  args.add_option("deadline-sec", "0",
+                  "wall-clock budget for the whole run (0 = unlimited)");
+  args.add_option("max-memory-mb", "0",
+                  "budget for the estimated working-set memory "
+                  "(0 = unlimited)");
   args.add_option("checkpoint-dir", "",
                   "checkpoint the working state here after each iteration");
   args.add_flag("baselines", "also run the four baseline attacks");
@@ -154,10 +186,24 @@ int cmd_attack(int argc, char** argv) {
   if (args.get_flag("strict") && args.get_flag("permissive"))
     throw std::invalid_argument("--strict and --permissive are exclusive");
   util::set_log_level(util::LogLevel::kInfo);
+
+  // Governance: route SIGINT/SIGTERM into the cancellation token and bound
+  // the run by wall clock and estimated memory when asked to.
+  runtime::install_signal_handlers();
+  runtime::ExecutionContext context;
+  context.set_cancellation(&runtime::global_token());
+  if (args.get_double("deadline-sec") > 0.0)
+    context.set_deadline_seconds(args.get_double("deadline-sec"));
+  if (args.get_int("max-memory-mb") > 0)
+    context.set_memory_limit(
+        static_cast<std::size_t>(args.get_int("max-memory-mb")) * 1024 *
+        1024);
+
   data::LoadOptions load_options;
   load_options.strictness = args.get_flag("permissive")
                                 ? data::Strictness::kPermissive
                                 : data::Strictness::kStrict;
+  load_options.context = &context;
   data::LoadReport load_report;
   const data::Dataset ds = load_positional(args, load_options, &load_report);
   if (args.get_flag("permissive") &&
@@ -174,9 +220,12 @@ int cmd_attack(int argc, char** argv) {
   cfg.tau_days = args.get_double("tau");
   cfg.presence.feature_dim = static_cast<std::size_t>(args.get_int("dim"));
   cfg.k = static_cast<int>(args.get_int("k"));
-  cfg.max_iterations = static_cast<int>(args.get_int("iterations"));
+  cfg.max_iterations = args.get_int("max-iterations") > 0
+                           ? static_cast<int>(args.get_int("max-iterations"))
+                           : static_cast<int>(args.get_int("iterations"));
   cfg.checkpoint_dir = args.get("checkpoint-dir");
   cfg.resume = args.get_flag("resume");
+  cfg.context = &context;
   if (cfg.resume && cfg.checkpoint_dir.empty())
     throw std::invalid_argument("--resume requires --checkpoint-dir");
 
@@ -194,6 +243,22 @@ int cmd_attack(int argc, char** argv) {
   if (args.get_flag("baselines"))
     for (const auto& baseline : eval::make_baselines()) record(*baseline);
   table.print("attack results (70/30 pair split)");
+
+  const runtime::DegradationReport& degradation =
+      seeker.last_result().degradation;
+  if (degradation.degraded())
+    std::fprintf(stderr, "run degraded (last-good results shown):\n%s\n",
+                 degradation.to_string().c_str());
+  if (seeker.last_result().peak_memory_estimate > 0)
+    std::fprintf(stderr, "peak working-set estimate: %.1f MB\n",
+                 static_cast<double>(
+                     seeker.last_result().peak_memory_estimate) /
+                     (1024.0 * 1024.0));
+  if (degradation.cancelled() || runtime::global_token().requested()) {
+    std::fprintf(stderr, "interrupted by signal %d; last checkpoint kept\n",
+                 runtime::last_signal());
+    return 130;
+  }
   return 0;
 }
 
@@ -255,11 +320,18 @@ int cmd_obfuscate(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--list-failpoints") return list_failpoints();
   try {
     if (command == "generate") return cmd_generate(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "attack") return cmd_attack(argc, argv);
     if (command == "obfuscate") return cmd_obfuscate(argc, argv);
+  } catch (const fs::CancelledError& e) {
+    // Cancellation at a hard checkpoint (e.g. mid-load): the working state
+    // is unusable, exit with the conventional interrupted status.
+    std::fprintf(stderr, "friendseeker %s: interrupted: %s\n",
+                 command.c_str(), e.what());
+    return 130;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "friendseeker %s: %s\n", command.c_str(), e.what());
     return 1;
