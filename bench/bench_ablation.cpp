@@ -59,7 +59,7 @@ int main() {
 
     for (const Variant& variant : variants) {
       eval::FriendSeekerAttack attack(variant.config);
-      util::Stopwatch timer;
+      obs::Span timer("bench.ablation.point");
       const ml::Prf prf = bench::run(attack, experiment);
       table.new_row()
           .add(experiment.name)

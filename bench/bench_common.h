@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "eval/harness.h"
+#include "obs/trace.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace fs::bench {

@@ -18,7 +18,7 @@ int main() {
     const eval::Experiment experiment = eval::make_experiment(base);
 
     auto record = [&](baselines::FriendshipAttack& attack) {
-      util::Stopwatch timer;
+      obs::Span timer("bench.fig11_baselines.point");
       const ml::Prf prf = bench::run(attack, experiment);
       table.new_row()
           .add(experiment.name)

@@ -24,7 +24,7 @@ int main() {
     for (std::size_t sigma : sigmas) {
       core::FriendSeekerConfig cfg = bench::sweep_seeker_config();
       cfg.sigma = sigma;
-      util::Stopwatch timer;
+      obs::Span timer("bench.fig7_sigma.point");
       const ml::Prf prf = bench::averaged_run(world, cfg, kSeeds);
       table.new_row()
           .add(world.name)

@@ -19,7 +19,7 @@ int main() {
     for (double tau : taus) {
       core::FriendSeekerConfig cfg = bench::sweep_seeker_config();
       cfg.tau_days = tau;
-      util::Stopwatch timer;
+      obs::Span timer("bench.fig8_tau.point");
       const ml::Prf prf = bench::averaged_run(world, cfg, kSeeds);
       table.new_row()
           .add(world.name)

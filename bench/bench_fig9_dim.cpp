@@ -20,7 +20,7 @@ int main() {
     for (std::size_t d : dims) {
       core::FriendSeekerConfig cfg = bench::sweep_seeker_config();
       cfg.presence.feature_dim = d;
-      util::Stopwatch timer;
+      obs::Span timer("bench.fig9_dim.point");
       const ml::Prf prf = bench::averaged_run(world, cfg, kSeeds);
       table.new_row()
           .add(world.name)

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fs::core {
 
 OccupancyIndex::OccupancyIndex(const data::Dataset& dataset,
@@ -86,12 +89,22 @@ void build_joc(const OccupancyIndex& index, data::UserId a, data::UserId b,
 nn::Matrix build_joc_matrix(const OccupancyIndex& index,
                             const std::vector<data::UserPair>& pairs,
                             const JocOptions& options) {
+  obs::Span span("core.joc.build");
+  span.arg("rows", static_cast<double>(pairs.size()));
   nn::Matrix m(pairs.size(), index.joc_dim());
   for (std::size_t r = 0; r < pairs.size(); ++r) {
     if (options.context != nullptr && r % 256 == 0)
       options.context->checkpoint("core.joc.build");
     build_joc(index, pairs[r].first, pairs[r].second, m.row(r), options);
   }
+  // Batched at loop exit so the per-row path stays free of atomics.
+  obs::metrics()
+      .counter("core.joc.rows_total", {}, "JOC feature rows built")
+      .add(pairs.size());
+  obs::metrics()
+      .counter("core.joc.cells_total", {},
+               "JOC matrix cells filled (rows x joc_dim)")
+      .add(pairs.size() * index.joc_dim());
   return m;
 }
 

@@ -14,9 +14,11 @@
 #include "graph/metrics.h"
 #include "ml/metrics.h"
 #include "ml/scaler.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 
 namespace fs::core {
 
@@ -91,8 +93,10 @@ FriendSeekerResult FriendSeeker::run(
     throw std::invalid_argument("FriendSeeker::run: empty pair lists");
 
   runtime::ExecutionContext* const ctx = config_.context;
+  obs::Span run_span("core.pipeline.run");
 
   // ---- Spatial-temporal division. ----
+  obs::Span std_span("core.pipeline.std_division");
   const std::vector<geo::LatLng> poi_coords = dataset.poi_coordinates();
   std::unique_ptr<geo::QuadtreeDivision> quadtree;
   std::unique_ptr<geo::UniformGridDivision> uniform;
@@ -110,6 +114,7 @@ FriendSeekerResult FriendSeeker::run(
       dataset.window_begin(), dataset.window_end(),
       static_cast<geo::Timestamp>(config_.tau_days * geo::kSecondsPerDay));
   const OccupancyIndex occupancy(dataset, *division, slots);
+  std_span.end();
   util::log_debug("FriendSeeker: STD I=", division->cell_count(),
                   " J=", slots.slot_count(), " joc_dim=", occupancy.joc_dim());
 
@@ -200,7 +205,7 @@ FriendSeekerResult FriendSeeker::run(
   } else {
     presence_cfg.context = ctx;
     presence_storage.emplace(presence_cfg);
-    util::Stopwatch phase1_timer;
+    obs::Span phase1_timer("core.pipeline.phase1");
     {
       // Per-phase budget: tighten the deadline for phase 1 only. An expired
       // deadline truncates autoencoder training at the next epoch boundary
@@ -212,6 +217,7 @@ FriendSeekerResult FriendSeeker::run(
         result.degradation.add("phase1.autoencoder", "deadline",
                                "training truncated by wall-clock budget");
     }
+    phase1_timer.end();
     util::log_debug("FriendSeeker: phase-1 training ",
                     phase1_timer.seconds(), "s");
   }
@@ -220,9 +226,11 @@ FriendSeekerResult FriendSeeker::run(
   const runtime::MemoryCharge embedding_charge(
       ctx, universe.pairs.size() * presence.feature_dim() * sizeof(double),
       "core.embeddings");
+  obs::Span encode_span("core.pipeline.phase1.encode");
   const nn::Matrix embeddings = presence.encode(all_jocs);
   const std::vector<double> phase1_proba =
       presence.predict_proba_encoded(embeddings);
+  encode_span.end();
   for (double p : phase1_proba)
     if (!std::isfinite(p))
       throw NumericError(
@@ -335,7 +343,8 @@ FriendSeekerResult FriendSeeker::run(
                                iteration - 1, config_.max_iterations);
         break;
       }
-      util::Stopwatch iter_timer;
+      obs::Span iter_span("core.pipeline.phase2.iteration");
+      iter_span.arg("iteration", static_cast<double>(iteration));
       try {
       // Composite features v = h ⊕ s for every candidate pair on the
       // current graph. The charge also stands in for the k-hop subgraph
@@ -437,9 +446,26 @@ FriendSeekerResult FriendSeeker::run(
       current = std::move(next);
       record_iteration(iteration, change, current);
       result.iterations_run = iteration;
+      const double edges = static_cast<double>(current.edge_count());
+      iter_span.arg("edges", edges);
+      iter_span.arg("change", change);
+      obs::tracer().counter("core.pipeline.edge_churn", change);
+      obs::tracer().counter("core.pipeline.graph_edges", edges);
+      obs::metrics()
+          .gauge("core.pipeline.edge_churn", {},
+                 "edge-change ratio of the latest phase-2 iteration")
+          .set(change);
+      obs::metrics()
+          .gauge("core.pipeline.graph_edges", {},
+                 "edge count of the current inferred graph")
+          .set(edges);
+      obs::metrics()
+          .counter("core.pipeline.iterations_total", {},
+                   "phase-2 refinement iterations executed")
+          .add(1);
       util::log_debug("FriendSeeker: iter=", iteration,
                       " edges=", current.edge_count(), " change=", change,
-                      " (", iter_timer.seconds(), "s)");
+                      " (", iter_span.seconds(), "s)");
       save_checkpoint_if_configured(iteration);
       // Simulated process kill at the iteration boundary, after the
       // checkpoint save. InjectedKill is not an fs::Error, so the
@@ -494,6 +520,11 @@ FriendSeekerResult FriendSeeker::run(
   }
   result.final_graph = std::move(current);
   if (ctx != nullptr) result.peak_memory_estimate = ctx->peak_charged();
+  // Mirror the run's sinks into gauges so --metrics-out captures them even
+  // when the caller never inspects the result object.
+  obs::bridge_diagnostics(diagnostics);
+  obs::bridge_degradation(result.degradation);
+  if (ctx != nullptr) obs::bridge_execution(*ctx);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace fs::core {
 
 std::vector<std::size_t> make_encoder_dims(
@@ -36,6 +38,7 @@ void PresenceModel::train(const nn::Matrix& jocs,
     throw std::invalid_argument("PresenceModel::train: size mismatch");
   if (jocs.rows() == 0)
     throw std::invalid_argument("PresenceModel::train: empty training set");
+  FS_SPAN("core.presence.train");
 
   nn::AutoencoderConfig ae;
   ae.encoder_dims = make_encoder_dims(jocs.cols(), config_);
@@ -50,6 +53,7 @@ void PresenceModel::train(const nn::Matrix& jocs,
 
   // "A small number of raw JOC samples" trains the autoencoder; subsample
   // deterministically and stratified if the corpus is larger.
+  obs::Span ae_span("core.presence.autoencoder");
   if (jocs.rows() > config_.max_autoencoder_rows) {
     util::Rng rng(config_.seed ^ 0xfeedULL);
     std::vector<std::size_t> pos, neg;
@@ -71,9 +75,11 @@ void PresenceModel::train(const nn::Matrix& jocs,
   } else {
     autoencoder_->train(jocs, labels);
   }
+  ae_span.end();
 
   // KNN stage over the code of the training corpus (capped: query cost is
   // linear in the reference-set size).
+  obs::Span knn_span("core.presence.knn_fit");
   const nn::Matrix code = autoencoder_->encode(jocs);
   const nn::Matrix scaled = code_scaler_.fit_transform(code);
   if (scaled.rows() > config_.max_knn_rows) {
@@ -94,6 +100,7 @@ void PresenceModel::train(const nn::Matrix& jocs,
 
 nn::Matrix PresenceModel::encode(const nn::Matrix& jocs) const {
   if (!trained_) throw std::logic_error("PresenceModel: encode before train");
+  FS_SPAN("core.presence.encode");
   return autoencoder_->encode(jocs);
 }
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -188,9 +190,50 @@ std::string LoadReport::summary() const {
   return oss.str();
 }
 
+namespace {
+
+/// Folds the finished LoadReport into the metrics registry: line totals,
+/// per-reason quarantine counters, and ingestion throughput. One batched
+/// update per load keeps the per-line loop untouched.
+void publish_load_metrics(const LoadReport& rep, double elapsed_sec) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.counter("data.loader.lines_total", {},
+              "check-in lines read (excluding blank lines)")
+      .add(rep.checkin_lines);
+  reg.counter("data.loader.accepted_checkins_total", {},
+              "check-in records accepted into the dataset")
+      .add(rep.accepted_checkins);
+  reg.counter("data.loader.edge_lines_total", {}, "edge lines read")
+      .add(rep.edge_lines);
+  reg.counter("data.loader.accepted_edges_total", {},
+              "friendship edges accepted into the dataset")
+      .add(rep.accepted_edges);
+  const auto quarantine_counter = [&reg](const char* reason,
+                                         std::size_t count) {
+    if (count > 0)
+      reg.counter("data.loader.quarantined_total", {{"reason", reason}},
+                  "lines quarantined by the permissive loader, by reason")
+          .add(count);
+  };
+  quarantine_counter("short_line", rep.short_lines);
+  quarantine_counter("bad_timestamp", rep.bad_timestamps);
+  quarantine_counter("bad_number", rep.bad_numbers);
+  quarantine_counter("out_of_range", rep.out_of_range_coords);
+  quarantine_counter("short_edge_line", rep.short_edge_lines);
+  quarantine_counter("bad_edge_number", rep.bad_edge_numbers);
+  if (elapsed_sec > 0.0)
+    reg.gauge("data.loader.lines_per_sec", {},
+              "ingestion throughput of the last load (both passes + edges)")
+        .set(static_cast<double>(rep.checkin_lines * 2 + rep.edge_lines) /
+             elapsed_sec);
+}
+
+}  // namespace
+
 Dataset load_checkins_snap(const std::string& checkins_path,
                            const std::string& edges_path,
                            const LoadOptions& options, LoadReport* report) {
+  obs::Span load_span("data.load");
   LoadReport local_report;
   LoadReport& rep = report != nullptr ? *report : local_report;
   rep = LoadReport{};
@@ -200,6 +243,7 @@ Dataset load_checkins_snap(const std::string& checkins_path,
   // a map entry, not their full record set. ----
   std::unordered_map<long long, std::size_t> user_checkin_count;
   {
+    FS_SPAN("data.load.pass1");
     std::ifstream checkin_file = open_or_throw(checkins_path, options);
     std::string line;
     std::size_t line_number = 0;
@@ -246,6 +290,7 @@ Dataset load_checkins_snap(const std::string& checkins_path,
   std::vector<Poi> pois;
   std::vector<CheckIn> checkins;
   {
+    FS_SPAN("data.load.pass2");
     std::ifstream checkin_file = open_or_throw(checkins_path, options);
     std::string line;
     std::size_t line_number = 0;
@@ -266,6 +311,7 @@ Dataset load_checkins_snap(const std::string& checkins_path,
     }
   }
 
+  obs::Span edges_span("data.load.edges");
   std::ifstream edge_file = open_or_throw(edges_path, options);
   graph::Graph g(user_map.size());
   std::string line;
@@ -307,7 +353,9 @@ Dataset load_checkins_snap(const std::string& checkins_path,
     if (a->second != b->second && g.add_edge(a->second, b->second))
       ++rep.accepted_edges;
   }
+  edges_span.end();
 
+  publish_load_metrics(rep, load_span.seconds());
   return Dataset::build(user_map.size(), std::move(pois), std::move(checkins),
                         std::move(g));
 }

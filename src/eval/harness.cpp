@@ -4,8 +4,8 @@
 #include "baselines/distance.h"
 #include "baselines/usergraph.h"
 #include "baselines/walk2friends.h"
+#include "obs/trace.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 
 namespace fs::eval {
 
@@ -30,7 +30,7 @@ Experiment make_experiment(data::Dataset dataset, const std::string& name,
 
 ml::Prf run_attack(baselines::FriendshipAttack& attack,
                    const Experiment& experiment) {
-  util::Stopwatch timer;
+  obs::Span timer("eval.attack.run");
   const std::vector<int> predictions =
       attack.infer(experiment.dataset, experiment.split.train_pairs,
                    experiment.split.train_labels,

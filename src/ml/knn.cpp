@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace fs::ml {
 
 KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
@@ -57,6 +59,10 @@ std::vector<double> KnnClassifier::predict_proba(
   std::vector<double> out(queries.rows());
   for (std::size_t r = 0; r < queries.rows(); ++r)
     out[r] = predict_proba(queries.row(r));
+  // One batched add per matrix call, not one per query row.
+  obs::metrics()
+      .counter("ml.knn.queries_total", {}, "KNN probability queries answered")
+      .add(queries.rows());
   return out;
 }
 

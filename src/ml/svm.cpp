@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -35,6 +37,8 @@ void SvmClassifier::fit(const nn::Matrix& features,
     throw std::invalid_argument(
         "SvmClassifier::fit: training set exceeds max_train_rows; "
         "subsample before fitting");
+  obs::Span fit_span("ml.svm.fit");
+  fit_span.arg("n", static_cast<double>(n));
   const std::size_t dim = features.cols();
 
   // A single NaN poisons the whole kernel matrix, so the SMO loop would
@@ -107,6 +111,8 @@ void SvmClassifier::fit(const nn::Matrix& features,
   const double tol = config_.tolerance;
   int passes = 0;
   int iterations = 0;
+  std::size_t total_alpha_updates = 0;
+  std::size_t total_sweeps = 0;
   while (passes < config_.max_passes &&
          iterations++ < config_.max_iterations) {
     if (config_.context != nullptr) {
@@ -115,6 +121,7 @@ void SvmClassifier::fit(const nn::Matrix& features,
       // state is a feasible (just less converged) dual solution.
       if (config_.context->deadline_expired()) break;
     }
+    obs::Span pass_span("ml.svm.pass");
     int changed = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const double e_i = decision_i(i) - y[i];
@@ -162,7 +169,18 @@ void SvmClassifier::fit(const nn::Matrix& features,
       ++changed;
     }
     passes = changed == 0 ? passes + 1 : 0;
+    pass_span.arg("changed", static_cast<double>(changed));
+    total_alpha_updates += static_cast<std::size_t>(changed);
+    ++total_sweeps;
   }
+  // Batched at fit exit: the sweep loop stays free of registry lookups.
+  obs::metrics()
+      .counter("ml.svm.passes_total", {}, "SMO sweeps over the training set")
+      .add(total_sweeps);
+  obs::metrics()
+      .counter("ml.svm.alpha_updates_total", {},
+               "SMO alpha-pair updates applied")
+      .add(total_alpha_updates);
 
   // Keep only support vectors.
   std::vector<std::size_t> sv;
@@ -191,6 +209,9 @@ std::vector<double> SvmClassifier::decision(const nn::Matrix& queries) const {
   std::vector<double> out(queries.rows());
   for (std::size_t r = 0; r < queries.rows(); ++r)
     out[r] = decision(queries.row(r));
+  obs::metrics()
+      .counter("ml.svm.decisions_total", {}, "SVM decision-function queries")
+      .add(queries.rows());
   return out;
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 
 namespace fs::nn {
@@ -140,6 +142,10 @@ std::vector<EpochStats> SupervisedAutoencoder::train(
     try {
       return train_once(inputs, labels, learning_rate);
     } catch (const NumericError& e) {
+      obs::metrics()
+          .counter("nn.ae.divergence_retries_total", {},
+                   "autoencoder restarts after numeric divergence")
+          .add(1);
       if (!retrier.retry())
         throw ConvergenceError(
             std::string("SupervisedAutoencoder: training diverged after ") +
@@ -186,9 +192,21 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
         break;
       }
     }
+    obs::Span epoch_span("nn.ae.epoch");
+    epoch_span.arg("epoch", static_cast<double>(epoch));
     shuffle_rng.shuffle(order);
     EpochStats stats;
     std::size_t batches = 0;
+    // Squared gradient magnitude over the epoch; only computed when the
+    // metrics registry is live so the default training path stays untouched.
+    const bool want_grad_norm = obs::metrics_enabled();
+    double grad_sq = 0.0;
+    const auto squared_sum = [](const Matrix& m) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m.size(); ++i)
+        s += m.data()[i] * m.data()[i];
+      return s;
+    };
 
     for (std::size_t start = 0; start < order.size();
          start += config_.batch_size) {
@@ -213,6 +231,7 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
                               elem_norm);
       stats.reconstruction_loss += batch_recon_loss;
       d_recon *= 2.0 / n * elem_norm;
+      if (want_grad_norm) grad_sq += squared_sum(d_recon);
       clip_elements(d_recon, config_.gradient_clip);
       const Matrix d_code_auto = decoder_.backward(d_recon);
       encoder_.backward(d_code_auto);
@@ -233,6 +252,7 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
         d_logit(r, 0) = (p - y) / n;
       }
       stats.classification_loss += batch_cla_loss;
+      if (want_grad_norm) grad_sq += squared_sum(d_logit);
       clip_elements(d_logit, config_.gradient_clip);
       const Matrix d_code_cla = classifier_.backward(d_logit);
       classifier_.apply_gradients(learning_rate);
@@ -252,6 +272,29 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
     if (batches > 0) {
       stats.reconstruction_loss /= static_cast<double>(batches);
       stats.classification_loss /= static_cast<double>(batches);
+    }
+    epoch_span.arg("recon_loss", stats.reconstruction_loss);
+    epoch_span.arg("cla_loss", stats.classification_loss);
+    obs::tracer().counter("nn.ae.recon_loss", stats.reconstruction_loss);
+    obs::tracer().counter("nn.ae.cla_loss", stats.classification_loss);
+    if (want_grad_norm) {
+      const double grad_norm = std::sqrt(grad_sq);
+      obs::tracer().counter("nn.ae.grad_norm", grad_norm);
+      obs::MetricsRegistry& reg = obs::metrics();
+      reg.gauge("nn.ae.recon_loss", {},
+                "reconstruction loss of the latest epoch")
+          .set(stats.reconstruction_loss);
+      reg.gauge("nn.ae.cla_loss", {},
+                "classification loss of the latest epoch")
+          .set(stats.classification_loss);
+      reg.gauge("nn.ae.grad_norm", {},
+                "pre-clip gradient norm of the latest epoch")
+          .set(grad_norm);
+      reg.counter("nn.ae.epochs_total", {}, "autoencoder epochs trained")
+          .add(1);
+      reg.counter("nn.ae.batches_total", {},
+                  "autoencoder mini-batches processed")
+          .add(batches);
     }
     history.push_back(stats);
   }

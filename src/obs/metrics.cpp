@@ -1,0 +1,343 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/// Atomic max / add for doubles via CAS (atomic<double>::fetch_add is C++20
+/// but not universally lock-free; the CAS loop is portable and contention
+/// here is negligible).
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed))
+    ;
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+    ;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::set_max(double v) noexcept { atomic_max(value_, v); }
+
+// ---- Histogram ---------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<std::uint64_t> buckets = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (buckets[i] == 0) continue;
+    // Overflow bucket: no finite upper bound, clamp to the largest bound.
+    if (i == bounds_.size()) return bounds_.back();
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    const double before = static_cast<double>(cumulative - buckets[i]);
+    const double within =
+        (rank - before) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return bounds_.back();
+}
+
+std::vector<double> default_duration_buckets_ms() {
+  // 0.25 ms .. ~2 min, x2 per bucket: 20 buckets cover a JOC row batch up
+  // to a full phase.
+  std::vector<double> bounds;
+  double b = 0.25;
+  for (int i = 0; i < 20; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
+// ---- MetricsRegistry ---------------------------------------------------
+
+template <typename T, typename... Args>
+T& MetricsRegistry::resolve(std::map<Key, std::unique_ptr<T>>& store,
+                            const std::string& name, const Labels& labels,
+                            const std::string& help, char type,
+                            Args&&... args) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  if (family.type == '?') {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered with another type");
+  } else if (family.help.empty() && !help.empty()) {
+    family.help = help;
+  }
+  auto& slot = store[Key{name, std::move(sorted)}];
+  if (!slot) slot = std::make_unique<T>(std::forward<Args>(args)...);
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels,
+                                  const std::string& help) {
+  return resolve(counters_, name, labels, help, 'c');
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  return resolve(gauges_, name, labels, help, 'g');
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds,
+                                      const Labels& labels,
+                                      const std::string& help) {
+  return resolve(histograms_, name, labels, help, 'h', upper_bounds);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  families_.clear();
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ---- Prometheus export -------------------------------------------------
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    if (ch == '\\') out += "\\\\";
+    else if (ch == '"') out += "\\\"";
+    else if (ch == '\n') out += "\\n";
+    else out += ch;
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char ch : help) {
+    if (ch == '\\') out += "\\\\";
+    else if (ch == '\n') out += "\\n";
+    else out += ch;
+  }
+  return out;
+}
+
+namespace {
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(k);
+    out += "=\"";
+    out += prometheus_escape_label(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Labels plus one extra pair (histogram "le"), keeping label order.
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return label_block(extended);
+}
+
+json::Object labels_json(const Labels& labels) {
+  json::Object out;
+  for (const auto& [k, v] : labels) out[k] = v;
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  std::string last_family;
+  const auto header = [&](const std::string& name, const char* type) {
+    if (name == last_family) return;
+    last_family = name;
+    const auto fam = families_.find(name);
+    if (fam != families_.end() && !fam->second.help.empty())
+      oss << "# HELP " << prometheus_name(name) << ' '
+          << prometheus_escape_help(fam->second.help) << '\n';
+    oss << "# TYPE " << prometheus_name(name) << ' ' << type << '\n';
+  };
+
+  for (const auto& [key, counter] : counters_) {
+    header(key.first, "counter");
+    oss << prometheus_name(key.first) << label_block(key.second) << ' '
+        << counter->value() << '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, gauge] : gauges_) {
+    header(key.first, "gauge");
+    oss << prometheus_name(key.first) << label_block(key.second) << ' '
+        << format_double(gauge->value()) << '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, histogram] : histograms_) {
+    header(key.first, "histogram");
+    const std::string name = prometheus_name(key.first);
+    const std::vector<std::uint64_t> buckets = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      const std::string le =
+          i < bounds.size() ? format_double(bounds[i]) : "+Inf";
+      oss << name << "_bucket" << label_block_with(key.second, "le", le)
+          << ' ' << cumulative << '\n';
+    }
+    oss << name << "_sum" << label_block(key.second) << ' '
+        << format_double(histogram->sum()) << '\n';
+    oss << name << "_count" << label_block(key.second) << ' '
+        << histogram->count() << '\n';
+  }
+  return oss.str();
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Array counters;
+  for (const auto& [key, counter] : counters_) {
+    json::Object entry;
+    entry["name"] = key.first;
+    if (!key.second.empty()) entry["labels"] = labels_json(key.second);
+    entry["value"] = counter->value();
+    counters.emplace_back(std::move(entry));
+  }
+  json::Array gauges;
+  for (const auto& [key, gauge] : gauges_) {
+    json::Object entry;
+    entry["name"] = key.first;
+    if (!key.second.empty()) entry["labels"] = labels_json(key.second);
+    entry["value"] = gauge->value();
+    gauges.emplace_back(std::move(entry));
+  }
+  json::Array histograms;
+  for (const auto& [key, histogram] : histograms_) {
+    json::Object entry;
+    entry["name"] = key.first;
+    if (!key.second.empty()) entry["labels"] = labels_json(key.second);
+    entry["count"] = histogram->count();
+    entry["sum"] = histogram->sum();
+    json::Object quantiles;
+    quantiles["p50"] = histogram->quantile(0.50);
+    quantiles["p95"] = histogram->quantile(0.95);
+    quantiles["p99"] = histogram->quantile(0.99);
+    entry["quantiles"] = std::move(quantiles);
+    json::Array buckets;
+    const std::vector<std::uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      json::Object bucket;
+      bucket["le"] = i < bounds.size()
+                         ? json::Value(bounds[i])
+                         : json::Value("inf");
+      bucket["count"] = counts[i];
+      buckets.emplace_back(std::move(bucket));
+    }
+    entry["buckets"] = std::move(buckets);
+    histograms.emplace_back(std::move(entry));
+  }
+  json::Object root;
+  root["counters"] = std::move(counters);
+  root["gauges"] = std::move(gauges);
+  root["histograms"] = std::move(histograms);
+  return json::Value(std::move(root));
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace fs::obs

@@ -1,0 +1,161 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms, exported as Prometheus text format and JSON.
+//
+// Design points:
+//   * Handles are stable references — call sites resolve a metric once
+//     (registry lookup takes a mutex) and then update it lock-free with
+//     relaxed atomics, so instrumented hot loops pay one atomic add per
+//     batch, not a map lookup per event.
+//   * Metric names are dotted and hierarchical ("data.loader.lines_total");
+//     the Prometheus exporter sanitizes them ([a-zA-Z0-9_:] only) and the
+//     JSON exporter keeps them verbatim.
+//   * Histograms use fixed upper bounds chosen at registration; quantiles
+//     (p50/p95/p99) are answered by linear interpolation inside the
+//     bracketing bucket, the same estimate Prometheus' histogram_quantile
+//     computes server-side.
+//   * A process-wide enable flag gates *expensive derived instrumentation*
+//     (e.g. gradient-norm computation). Plain counter/gauge updates are a
+//     relaxed atomic op and stay unconditional.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs::obs {
+
+/// Sorted (key, value) label pairs; part of a metric's identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// High-water update: keeps the maximum of the current and new value.
+  void set_max(double v) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf overflow
+  /// bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate for q in [0, 1] by linear interpolation within the
+  /// bracketing bucket (observations in the overflow bucket clamp to the
+  /// largest finite bound). Returns 0 when empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; the last entry is the overflow
+  /// bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential duration buckets in milliseconds (0.25 ms .. ~2 min), the
+/// default for span/stage timing histograms.
+std::vector<double> default_duration_buckets_ms();
+
+class MetricsRegistry {
+ public:
+  /// Resolve-or-create. The help string is recorded on first registration
+  /// of a name; later calls may omit it. Returned references stay valid for
+  /// the registry's lifetime.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  /// `upper_bounds` is used only when the (name, labels) pair is new.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds,
+                       const Labels& labels = {},
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples), with
+  /// name sanitization, label-value escaping, and histogram
+  /// _bucket/_sum/_count expansion.
+  std::string to_prometheus() const;
+
+  /// JSON snapshot: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]} with verbatim names, labels, and p50/p95/p99.
+  json::Value to_json() const;
+
+  /// Drops every metric (tests and the bench harness isolate runs with
+  /// this; live handles are invalidated).
+  void reset();
+
+ private:
+  struct Family {
+    std::string help;
+    char type = '?';  // 'c' | 'g' | 'h'
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  template <typename T, typename... Args>
+  T& resolve(std::map<Key, std::unique_ptr<T>>& store,
+             const std::string& name, const Labels& labels,
+             const std::string& help, char type, Args&&... args);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all pipeline instrumentation writes into.
+MetricsRegistry& metrics();
+
+/// Gate for derived instrumentation whose *computation* costs something
+/// (gradient norms, per-epoch series). Off by default; the CLI and
+/// perf_bench turn it on. Plain counters/gauges ignore this flag.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Sanitizes a dotted metric name for Prometheus ([a-zA-Z0-9_:], no leading
+/// digit). Exposed for tests.
+std::string prometheus_name(const std::string& name);
+/// Escapes a Prometheus label value (backslash, double quote, newline) or
+/// HELP text (backslash, newline). Exposed for tests.
+std::string prometheus_escape_label(const std::string& value);
+std::string prometheus_escape_help(const std::string& help);
+
+}  // namespace fs::obs

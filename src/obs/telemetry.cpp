@@ -1,0 +1,138 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <fstream>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fs::obs {
+
+std::string prometheus_path_for(const std::string& json_path) {
+  const std::size_t slash = json_path.find_last_of('/');
+  const std::size_t dot = json_path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return json_path + ".prom";
+  return json_path.substr(0, dot) + ".prom";
+}
+
+void write_metrics_files(const MetricsRegistry& registry,
+                         const std::string& json_path) {
+  json::write_file(json_path, registry.to_json(), 2);
+  const std::string prom_path = prometheus_path_for(json_path);
+  std::ofstream prom(prom_path);
+  if (!prom)
+    throw IoError("write_metrics_files: cannot open " + prom_path);
+  prom << registry.to_prometheus();
+  if (!prom.flush())
+    throw IoError("write_metrics_files: write failed for " + prom_path);
+}
+
+void bridge_diagnostics(const util::Diagnostics& diagnostics,
+                        MetricsRegistry& registry) {
+  registry
+      .gauge("diagnostics.events_total", {},
+             "diagnostics reported by the last run")
+      .set(static_cast<double>(diagnostics.entries().size()));
+  for (const util::Severity severity :
+       {util::Severity::kInfo, util::Severity::kWarning,
+        util::Severity::kError})
+    registry
+        .gauge("diagnostics.events",
+               {{"severity", util::severity_name(severity)}},
+               "diagnostics by severity for the last run")
+        .set(static_cast<double>(diagnostics.count(severity)));
+}
+
+void bridge_execution(const runtime::ExecutionContext& context,
+                      MetricsRegistry& registry) {
+  registry
+      .gauge("runtime.memory.charged_bytes", {},
+             "currently charged estimated working-set bytes")
+      .set(static_cast<double>(context.charged()));
+  registry
+      .gauge("runtime.memory.peak_bytes", {},
+             "high-water mark of the estimated working set")
+      .set_max(static_cast<double>(context.peak_charged()));
+  const double remaining = context.deadline().is_unlimited()
+                               ? -1.0
+                               : context.remaining_seconds();
+  registry
+      .gauge("runtime.deadline.remaining_seconds", {},
+             "wall-clock budget left (-1 = unlimited)")
+      .set(remaining);
+}
+
+void bridge_degradation(const runtime::DegradationReport& report,
+                        MetricsRegistry& registry) {
+  registry
+      .gauge("pipeline.degraded_phases", {},
+             "phases the last run truncated instead of completing")
+      .set(static_cast<double>(report.phases.size()));
+  // Zero the known reasons first so a clean re-run overwrites stale values.
+  for (const char* reason : {"deadline", "memory", "iterations", "cancelled"})
+    registry
+        .gauge("pipeline.degradations", {{"reason", reason}},
+               "truncated phases by reason for the last run")
+        .set(0.0);
+  for (const runtime::PhaseDegradation& phase : report.phases) {
+    Gauge& gauge = registry.gauge("pipeline.degradations",
+                                  {{"reason", phase.reason}},
+                                  "truncated phases by reason for the last "
+                                  "run");
+    gauge.set(gauge.value() + 1.0);
+  }
+}
+
+// ---- PeriodicSnapshotWriter -------------------------------------------
+
+PeriodicSnapshotWriter::PeriodicSnapshotWriter(std::string json_path,
+                                               double interval_sec,
+                                               MetricsRegistry& registry)
+    : json_path_(std::move(json_path)), registry_(registry) {
+  if (interval_sec > 0.0)
+    worker_ = std::thread([this, interval_sec] { run(interval_sec); });
+}
+
+PeriodicSnapshotWriter::~PeriodicSnapshotWriter() { stop(); }
+
+void PeriodicSnapshotWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  write_once();
+}
+
+void PeriodicSnapshotWriter::run(double interval_sec) {
+  const auto interval = std::chrono::duration<double>(interval_sec);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    write_once();
+    lock.lock();
+  }
+}
+
+void PeriodicSnapshotWriter::write_once() noexcept {
+  try {
+    write_metrics_files(registry_, json_path_);
+  } catch (const std::exception& e) {
+    bool warn = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      warn = !warned_;
+      warned_ = true;
+    }
+    if (warn)
+      util::log_warn("metrics snapshot write failed (will keep trying): ",
+                     e.what());
+  }
+}
+
+}  // namespace fs::obs

@@ -1,0 +1,72 @@
+// Glue between the observability registry and the rest of the runtime:
+// file exporters, bridges from pre-existing sinks (Diagnostics,
+// ExecutionContext budgets, DegradationReport), and a periodic snapshot
+// writer so a killed run still leaves telemetry on disk.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/runtime.h"
+
+namespace fs::obs {
+
+/// The Prometheus twin of a JSON metrics path: extension replaced by
+/// ".prom" ("m.json" -> "m.prom"; no extension -> appended).
+std::string prometheus_path_for(const std::string& json_path);
+
+/// Writes the registry snapshot to `json_path` (JSON) and its
+/// prometheus_path_for twin (text exposition format). Throws IoError.
+void write_metrics_files(const MetricsRegistry& registry,
+                         const std::string& json_path);
+
+/// Mirrors a run's diagnostics into gauges:
+///   diagnostics.events{severity=...} and diagnostics.events_total.
+void bridge_diagnostics(const util::Diagnostics& diagnostics,
+                        MetricsRegistry& registry = metrics());
+
+/// Mirrors an ExecutionContext's budget accounting into gauges:
+///   runtime.memory.charged_bytes, runtime.memory.peak_bytes,
+///   runtime.deadline.remaining_seconds (-1 when unlimited).
+void bridge_execution(const runtime::ExecutionContext& context,
+                      MetricsRegistry& registry = metrics());
+
+/// Mirrors a DegradationReport into gauges:
+///   pipeline.degraded_phases and pipeline.degradations{reason=...}.
+void bridge_degradation(const runtime::DegradationReport& report,
+                        MetricsRegistry& registry = metrics());
+
+/// Background thread that rewrites the metrics files every `interval_sec`
+/// until stopped (and once on stop), bounding how much telemetry a
+/// SIGKILLed run loses. Write failures are logged once and the writer keeps
+/// going — losing a snapshot must never fail the run.
+class PeriodicSnapshotWriter {
+ public:
+  PeriodicSnapshotWriter(std::string json_path, double interval_sec,
+                         MetricsRegistry& registry = metrics());
+  ~PeriodicSnapshotWriter();
+
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// Stops the thread and writes a final snapshot. Idempotent.
+  void stop();
+
+ private:
+  void run(double interval_sec);
+  void write_once() noexcept;
+
+  std::string json_path_;
+  MetricsRegistry& registry_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool warned_ = false;
+  std::thread worker_;
+};
+
+}  // namespace fs::obs

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <ctime>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace fs::obs {
+
+namespace {
+
+/// Per-thread nesting depth for hierarchical spans.
+thread_local int t_span_depth = 0;
+
+/// Small dense per-thread ids (Chrome traces key rows on tid).
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Thread CPU time in microseconds (0 where unavailable).
+double thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+double trace_now_us() { return util::monotonic_seconds() * 1e6; }
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::counter(const std::string& name, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'C';
+  event.ts_us = trace_now_us();
+  event.tid = this_thread_id();
+  event.args.emplace_back("value", value);
+  record(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::map<std::string, Tracer::Aggregate> Tracer::aggregate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Aggregate> out;
+  for (const TraceEvent& event : events_) {
+    if (event.phase != 'X') continue;
+    Aggregate& agg = out[event.name];
+    ++agg.count;
+    agg.wall_ms += event.dur_us * 1e-3;
+    agg.cpu_ms += event.cpu_us * 1e-3;
+  }
+  return out;
+}
+
+json::Value Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Array trace_events;
+  trace_events.reserve(events_.size() + 1);
+  {
+    // Process-name metadata event so viewers label the single row usefully.
+    json::Object meta;
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = 0;
+    json::Object args;
+    args["name"] = "friendseeker";
+    meta["args"] = std::move(args);
+    trace_events.emplace_back(std::move(meta));
+  }
+  for (const TraceEvent& event : events_) {
+    json::Object entry;
+    entry["name"] = event.name;
+    entry["ph"] = std::string(1, event.phase);
+    entry["ts"] = event.ts_us;
+    entry["pid"] = 1;
+    entry["tid"] = event.tid;
+    if (event.phase == 'X') entry["dur"] = event.dur_us;
+    json::Object args;
+    if (event.phase == 'X') {
+      args["cpu_us"] = event.cpu_us;
+      args["depth"] = event.depth;
+    }
+    for (const auto& [key, value] : event.args) args[key] = value;
+    if (!args.empty()) entry["args"] = std::move(args);
+    trace_events.emplace_back(std::move(entry));
+  }
+  json::Object root;
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = "ms";
+  return json::Value(std::move(root));
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  json::write_file(path, to_chrome_json(), 1);
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+// ---- Span --------------------------------------------------------------
+
+Span::Span(const char* name)
+    : name_(name), wall_start_(clock::now()) {
+  if (!tracer().enabled()) return;
+  recording_ = true;
+  cpu_start_us_ = thread_cpu_us();
+  depth_ = t_span_depth++;
+}
+
+double Span::seconds() const {
+  return std::chrono::duration<double>(clock::now() - wall_start_).count();
+}
+
+void Span::arg(const char* key, double value) {
+  if (recording_ && !ended_) args_.emplace_back(key, value);
+}
+
+void Span::end() {
+  if (ended_) return;
+  ended_ = true;
+  const double dur_s = seconds();
+  if (recording_) {
+    --t_span_depth;
+    TraceEvent event;
+    event.name = name_;
+    event.phase = 'X';
+    event.dur_us = dur_s * 1e6;
+    event.ts_us = trace_now_us() - event.dur_us;
+    event.cpu_us = thread_cpu_us() - cpu_start_us_;
+    event.depth = depth_;
+    event.tid = this_thread_id();
+    event.args = std::move(args_);
+    tracer().record(std::move(event));
+  }
+
+  // Span timings mirror into the registry so a metrics-only run still
+  // covers every phase.
+  if (metrics_enabled())
+    metrics()
+        .histogram(std::string("span.") + name_ + "_ms",
+                   default_duration_buckets_ms(), {},
+                   "wall-time distribution of the span")
+        .observe(dur_s * 1e3);
+}
+
+Span::~Span() { end(); }
+
+}  // namespace fs::obs

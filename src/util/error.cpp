@@ -1,5 +1,6 @@
 #include "util/error.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "util/logging.h"
@@ -37,13 +38,14 @@ const char* severity_name(Severity severity) {
 void Diagnostics::report(Severity severity, ErrorCode code,
                          std::string component, std::string message) {
   // Mirror into the logger so interactive runs see degradations as they
-  // happen, not only in the final report.
+  // happen, not only in the final report; the logger stamps its own
+  // monotonic timestamp on the line.
   LogLevel level = LogLevel::kInfo;
   if (severity == Severity::kWarning) level = LogLevel::kWarn;
   if (severity == Severity::kError) level = LogLevel::kError;
-  log(level, component, ": ", message);
+  log(level, error_code_name(code), ' ', component, ": ", message);
   entries_.push_back(Diagnostic{severity, code, std::move(component),
-                                std::move(message)});
+                                std::move(message), monotonic_seconds()});
 }
 
 std::size_t Diagnostics::count(Severity severity) const {
@@ -54,10 +56,13 @@ std::size_t Diagnostics::count(Severity severity) const {
 
 std::string Diagnostics::to_string() const {
   std::ostringstream oss;
-  for (const Diagnostic& d : entries_)
-    oss << '[' << severity_name(d.severity) << "] "
+  for (const Diagnostic& d : entries_) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%8.2fs]", d.ts_sec);
+    oss << stamp << " [" << severity_name(d.severity) << "] "
         << error_code_name(d.code) << ' ' << d.component << ": " << d.message
         << '\n';
+  }
   return oss.str();
 }
 

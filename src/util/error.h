@@ -97,6 +97,9 @@ struct Diagnostic {
   ErrorCode code = ErrorCode::kIo;
   std::string component;  // e.g. "loader", "autoencoder", "pipeline"
   std::string message;
+  /// Seconds since process start (util::monotonic_seconds) when the event
+  /// was reported; orders diagnostics against log lines and trace spans.
+  double ts_sec = 0.0;
 };
 
 /// Append-only event sink. Copyable so a pipeline can hand its collected

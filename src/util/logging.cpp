@@ -22,14 +22,16 @@ const char* level_tag(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
-namespace detail {
-void log_line(LogLevel level, const std::string& message) {
+double monotonic_seconds() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point start = clock::now();
-  const double elapsed =
-      std::chrono::duration<double>(clock::now() - start).count();
-  std::fprintf(stderr, "[%8.2fs] %s %s\n", elapsed, level_tag(level),
-               message.c_str());
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%8.2fs] %s %s\n", monotonic_seconds(),
+               level_tag(level), message.c_str());
 }
 }  // namespace detail
 

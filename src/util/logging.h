@@ -18,6 +18,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Seconds since process start on the steady clock — the shared monotonic
+/// epoch used by log lines, diagnostics timestamps, and trace spans, so all
+/// telemetry sorts on one axis.
+double monotonic_seconds();
+
 namespace detail {
 void log_line(LogLevel level, const std::string& message);
 }

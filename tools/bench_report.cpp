@@ -1,8 +1,9 @@
 // bench_report — collates the CSVs produced by the bench suite under
 // bench_out/ into a single Markdown report (REPORT.md) with one section per
-// reproduced table/figure.
+// reproduced table/figure, plus a machine-readable JSON twin.
 //
 //   ./build/tools/bench_report [--dir bench_out] [--out REPORT.md]
+//                              [--json-out REPORT.json]
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -94,12 +96,50 @@ const std::map<std::string, std::string>& titles() {
   return kTitles;
 }
 
+/// One section as JSON: {"stem", "title", "columns", "rows"}; numeric cells
+/// are emitted as numbers so downstream tooling can plot without re-parsing.
+fs::obs::json::Value section_json(
+    const std::string& stem, const std::string& title,
+    const std::vector<std::vector<std::string>>& rows) {
+  namespace json = fs::obs::json;
+  json::Object section;
+  section["stem"] = stem;
+  section["title"] = title;
+  json::Array columns;
+  if (!rows.empty())
+    for (const std::string& cell : rows[0]) columns.emplace_back(cell);
+  section["columns"] = std::move(columns);
+  json::Array body;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    json::Array row;
+    for (const std::string& cell : rows[r]) {
+      bool numeric = false;
+      double v = 0.0;
+      try {
+        std::size_t pos = 0;
+        v = std::stod(cell, &pos);
+        numeric = pos == cell.size() && !cell.empty();
+      } catch (const std::exception&) {
+      }
+      if (numeric)
+        row.emplace_back(v);
+      else
+        row.emplace_back(cell);
+    }
+    body.emplace_back(std::move(row));
+  }
+  section["rows"] = std::move(body);
+  return json::Value(std::move(section));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::util::ArgParser args;
   args.add_option("dir", "bench_out", "directory holding the bench CSVs");
   args.add_option("out", "REPORT.md", "output Markdown file");
+  args.add_option("json-out", "",
+                  "also write the report as JSON (\"\" = <out stem>.json)");
   try {
     args.parse(argc, argv);
     const std::filesystem::path dir(args.get("dir"));
@@ -137,13 +177,29 @@ int main(int argc, char** argv) {
         << "/` by `bench_report`. One section per reproduced paper "
            "artifact; see EXPERIMENTS.md for the paper-vs-measured "
            "discussion.\n";
+    namespace json = fs::obs::json;
+    json::Array sections;
     for (const std::string& stem : ordered) {
       const auto it = titles().find(stem);
-      out << "\n## " << (it != titles().end() ? it->second : stem) << "\n\n";
-      out << markdown_table(read_csv((dir / (stem + ".csv")).string()));
+      const std::string title = it != titles().end() ? it->second : stem;
+      const auto rows = read_csv((dir / (stem + ".csv")).string());
+      out << "\n## " << title << "\n\n";
+      out << markdown_table(rows);
+      sections.push_back(section_json(stem, title, rows));
     }
-    std::cout << "wrote " << args.get("out") << " (" << ordered.size()
-              << " sections)\n";
+
+    std::string json_path = args.get("json-out");
+    if (json_path.empty()) {
+      const std::filesystem::path md(args.get("out"));
+      json_path = (md.parent_path() / md.stem()).string() + ".json";
+    }
+    json::Object report;
+    report["report"] = "friendseeker-bench";
+    report["source_dir"] = dir.string();
+    report["sections"] = std::move(sections);
+    json::write_file(json_path, json::Value(std::move(report)), 2);
+    std::cout << "wrote " << args.get("out") << " and " << json_path << " ("
+              << ordered.size() << " sections)\n";
   } catch (const std::exception& e) {
     std::cerr << "bench_report: " << e.what() << '\n';
     return 1;

@@ -6,6 +6,8 @@
 //                          [--permissive] [--checkpoint-dir DIR [--resume]]
 //                          [--deadline-sec S --max-memory-mb M
 //                           --max-iterations N]
+//                          [--metrics-out M.json --trace-out T.json
+//                           --metrics-interval-sec S]
 //   friendseeker obfuscate CHECKINS EDGES --mechanism M --ratio R --out DIR
 //   friendseeker --list-failpoints
 //
@@ -18,6 +20,7 @@
 // on stderr) and exits 0.
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "data/defense.h"
@@ -26,6 +29,9 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "eval/harness.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/args.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -169,6 +175,15 @@ int cmd_attack(int argc, char** argv) {
                   "(0 = unlimited)");
   args.add_option("checkpoint-dir", "",
                   "checkpoint the working state here after each iteration");
+  args.add_option("metrics-out", "",
+                  "write metrics here as JSON (plus a .prom twin in "
+                  "Prometheus text format)");
+  args.add_option("trace-out", "",
+                  "write a Chrome trace_event JSON here (loads in Perfetto "
+                  "/ chrome://tracing)");
+  args.add_option("metrics-interval-sec", "0",
+                  "also rewrite --metrics-out every S seconds, so a killed "
+                  "run keeps telemetry (0 = only at exit)");
   args.add_flag("baselines", "also run the four baseline attacks");
   args.add_flag("strict", "abort on the first malformed input line (default)");
   args.add_flag("permissive",
@@ -186,6 +201,19 @@ int cmd_attack(int argc, char** argv) {
   if (args.get_flag("strict") && args.get_flag("permissive"))
     throw std::invalid_argument("--strict and --permissive are exclusive");
   util::set_log_level(util::LogLevel::kInfo);
+
+  // Observability: the registry is live whenever a metrics file was asked
+  // for; the tracer only when a trace file was (spans stay two clock reads
+  // otherwise).
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string trace_out = args.get("trace-out");
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::tracer().enable();
+  std::unique_ptr<obs::PeriodicSnapshotWriter> snapshots;
+  if (!metrics_out.empty() &&
+      args.get_double("metrics-interval-sec") > 0.0)
+    snapshots = std::make_unique<obs::PeriodicSnapshotWriter>(
+        metrics_out, args.get_double("metrics-interval-sec"));
 
   // Governance: route SIGINT/SIGTERM into the cancellation token and bound
   // the run by wall clock and estimated memory when asked to.
@@ -254,6 +282,21 @@ int cmd_attack(int argc, char** argv) {
                  static_cast<double>(
                      seeker.last_result().peak_memory_estimate) /
                      (1024.0 * 1024.0));
+
+  // Telemetry files are written on every exit path, interrupted included —
+  // a cancelled run's partial telemetry is exactly when you want it.
+  if (snapshots != nullptr) snapshots->stop();
+  if (!metrics_out.empty()) {
+    if (snapshots == nullptr) obs::write_metrics_files(obs::metrics(),
+                                                       metrics_out);
+    std::fprintf(stderr, "metrics: %s (and %s)\n", metrics_out.c_str(),
+                 obs::prometheus_path_for(metrics_out).c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::tracer().write_chrome_json(trace_out);
+    std::fprintf(stderr, "trace: %s (load in Perfetto or "
+                 "chrome://tracing)\n", trace_out.c_str());
+  }
   if (degradation.cancelled() || runtime::global_token().requested()) {
     std::fprintf(stderr, "interrupted by signal %d; last checkpoint kept\n",
                  runtime::last_signal());

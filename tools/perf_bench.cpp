@@ -1,0 +1,219 @@
+// perf_bench — end-to-end pipeline performance harness. Runs FriendSeeker
+// on a synthetic preset with the observability subsystem live, then writes
+// a machine-readable BENCH_pipeline.json: per-stage wall/CPU rollups from
+// the trace spans, peak working-set estimate, and attack quality, so CI can
+// track performance as a trajectory instead of a log line.
+//
+//   perf_bench [--preset tiny|gowalla|brightkite] [--out BENCH_pipeline.json]
+//              [--metrics-out M.json] [--trace-out T.json] [--seed N]
+//   perf_bench --validate FILE    # schema-check an existing BENCH file
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/harness.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/runtime.h"
+
+namespace {
+
+using namespace fs;
+namespace json = obs::json;
+
+constexpr double kSchemaVersion = 1.0;
+
+/// World + seeker scaling per preset. "tiny" is sized for CI smoke runs
+/// (seconds); the named presets match the bench suite's sweep scale.
+struct Preset {
+  data::SyntheticWorldConfig world;
+  core::FriendSeekerConfig seeker;
+};
+
+Preset make_preset(const std::string& name) {
+  Preset p;
+  p.seeker = eval::default_seeker_config();
+  if (name == "tiny") {
+    p.world = data::gowalla_like();
+    p.world.user_count = 72;
+    p.world.poi_count = 200;
+    p.world.weeks = 4;
+    p.seeker.sigma = 40;
+    p.seeker.presence.feature_dim = 32;
+    p.seeker.presence.epochs = 6;
+    p.seeker.presence.max_autoencoder_rows = 300;
+    p.seeker.max_iterations = 3;
+    p.seeker.max_svm_train_rows = 600;
+    return p;
+  }
+  if (name == "gowalla" || name == "brightkite") {
+    p.world = name == "gowalla" ? data::gowalla_like()
+                                : data::brightkite_like();
+    p.world.user_count = 320;
+    p.world.poi_count = 900;
+    p.world.weeks = 10;
+    p.seeker.sigma = 120;
+    p.seeker.presence.feature_dim = 48;
+    p.seeker.presence.epochs = 10;
+    p.seeker.presence.max_autoencoder_rows = 450;
+    p.seeker.max_iterations = 5;
+    p.seeker.max_svm_train_rows = 1200;
+    return p;
+  }
+  throw std::invalid_argument("unknown preset '" + name +
+                              "' (tiny | gowalla | brightkite)");
+}
+
+/// Checks one BENCH_pipeline.json against the schema this tool writes.
+/// Throws ParseError with the offending key on any mismatch.
+void validate_bench(const json::Value& root) {
+  if (!root.is_object()) throw ParseError("root is not an object");
+  if (root.at("schema_version").as_number() != kSchemaVersion)
+    throw ParseError("schema_version != 1");
+  root.at("preset").as_string();
+  root.at("seed").as_number();
+
+  const json::Value& quality = root.at("quality");
+  for (const char* key : {"f1", "precision", "recall"}) {
+    const double v = quality.at(key).as_number();
+    if (v < 0.0 || v > 1.0)
+      throw ParseError(std::string("quality.") + key + " outside [0, 1]");
+  }
+
+  const json::Array& stages = root.at("stages").as_array();
+  if (stages.empty()) throw ParseError("stages is empty");
+  for (const json::Value& stage : stages) {
+    stage.at("name").as_string();
+    for (const char* key : {"count", "wall_ms", "cpu_ms", "throughput"})
+      if (stage.at(key).as_number() < 0.0)
+        throw ParseError(std::string("stage ") +
+                         stage.at("name").as_string() + ": negative " + key);
+  }
+
+  if (root.at("totals").at("wall_ms").as_number() < 0.0)
+    throw ParseError("totals.wall_ms is negative");
+  if (root.at("peak_memory_bytes").as_number() < 0.0)
+    throw ParseError("peak_memory_bytes is negative");
+}
+
+int run_validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_bench: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  try {
+    validate_bench(json::parse(oss.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_bench: %s fails schema: %s\n", path.c_str(),
+                 e.what());
+    return 1;
+  }
+  std::printf("%s: schema ok\n", path.c_str());
+  return 0;
+}
+
+int run_bench(const util::ArgParser& args) {
+  obs::set_metrics_enabled(true);
+  obs::tracer().enable();
+
+  const std::string preset_name = args.get("preset");
+  Preset preset = make_preset(preset_name);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  preset.world.seed += seed;
+  preset.seeker.seed += seed;
+
+  runtime::ExecutionContext context;
+  preset.seeker.context = &context;
+
+  obs::Span total_span("perf_bench.total");
+  const eval::Experiment experiment =
+      eval::make_experiment(preset.world, {}, 0.7, 7 + seed);
+  eval::FriendSeekerAttack attack(preset.seeker);
+  const ml::Prf prf = eval::run_attack(attack, experiment);
+  total_span.end();
+
+  // Per-stage rollup from the spans the pipeline recorded.
+  json::Array stages;
+  double total_cpu_ms = 0.0;
+  for (const auto& [name, agg] : obs::tracer().aggregate()) {
+    json::Object stage;
+    stage["name"] = name;
+    stage["count"] = agg.count;
+    stage["wall_ms"] = agg.wall_ms;
+    stage["cpu_ms"] = agg.cpu_ms;
+    stage["throughput"] =
+        agg.wall_ms > 0.0
+            ? static_cast<double>(agg.count) * 1000.0 / agg.wall_ms
+            : 0.0;
+    stages.emplace_back(std::move(stage));
+    if (name != "perf_bench.total") total_cpu_ms += agg.cpu_ms;
+  }
+
+  json::Object quality;
+  quality["f1"] = prf.f1;
+  quality["precision"] = prf.precision;
+  quality["recall"] = prf.recall;
+
+  json::Object totals;
+  totals["wall_ms"] = total_span.milliseconds();
+  totals["cpu_ms"] = total_cpu_ms;
+
+  json::Object root;
+  root["schema_version"] = kSchemaVersion;
+  root["preset"] = preset_name;
+  root["seed"] = seed;
+  root["users"] = preset.world.user_count;
+  root["quality"] = std::move(quality);
+  root["stages"] = std::move(stages);
+  root["totals"] = std::move(totals);
+  root["peak_memory_bytes"] = context.peak_charged();
+
+  const json::Value bench(std::move(root));
+  validate_bench(bench);  // never ship a file the validator would reject
+  const std::string out_path = args.get("out");
+  json::write_file(out_path, bench, 2);
+  std::printf("wrote %s (preset=%s F1=%.4f wall=%.0fms)\n", out_path.c_str(),
+              preset_name.c_str(), prf.f1, total_span.milliseconds());
+
+  if (!args.get("metrics-out").empty())
+    obs::write_metrics_files(obs::metrics(), args.get("metrics-out"));
+  if (!args.get("trace-out").empty())
+    obs::tracer().write_chrome_json(args.get("trace-out"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("preset", "gowalla", "tiny | gowalla | brightkite");
+  args.add_option("out", "BENCH_pipeline.json", "benchmark output file");
+  args.add_option("metrics-out", "",
+                  "also write the metrics snapshot (JSON + .prom twin)");
+  args.add_option("trace-out", "", "also write the Chrome trace JSON");
+  args.add_option("seed", "0", "seed offset for world and model RNG");
+  args.add_option("validate", "",
+                  "schema-check FILE instead of running the benchmark");
+  args.add_flag("help", "show options");
+  try {
+    args.parse(argc, argv);
+    if (args.get_flag("help")) {
+      std::fputs(args.help().c_str(), stderr);
+      return 0;
+    }
+    if (!args.get("validate").empty())
+      return run_validate(args.get("validate"));
+    util::set_log_level(util::LogLevel::kInfo);
+    return run_bench(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_bench: %s\n", e.what());
+    return 1;
+  }
+}
