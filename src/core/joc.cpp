@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/par.h"
 
 namespace fs::core {
 
@@ -18,6 +19,7 @@ OccupancyIndex::OccupancyIndex(const data::Dataset& dataset,
       per_user_(dataset.user_count()) {
   for (data::UserId u = 0; u < dataset.user_count(); ++u) {
     auto& entries = per_user_[u];
+    entries.reserve(dataset.trajectory(u).size());
     for (const data::CheckIn& c : dataset.trajectory(u)) {
       const std::size_t grid = division.cell_of(c.location);
       const std::size_t slot = slots.slot_of(c.time);
@@ -92,11 +94,16 @@ nn::Matrix build_joc_matrix(const OccupancyIndex& index,
   obs::Span span("core.joc.build");
   span.arg("rows", static_cast<double>(pairs.size()));
   nn::Matrix m(pairs.size(), index.joc_dim());
-  for (std::size_t r = 0; r < pairs.size(); ++r) {
-    if (options.context != nullptr && r % 256 == 0)
-      options.context->checkpoint("core.joc.build");
+  // Each row is an independent cuboid; rows fan out across the pool with a
+  // cancellation probe per chunk (a partial JOC matrix is unusable, so the
+  // probe is the hard checkpoint() flavour, as before).
+  par::ParallelOptions popts;
+  popts.context = options.context;
+  popts.what = "core.joc.build";
+  popts.grain = par::grain_for(index.joc_dim() * 4);
+  par::parallel_for(pairs.size(), popts, [&](std::size_t r) {
     build_joc(index, pairs[r].first, pairs[r].second, m.row(r), options);
-  }
+  });
   // Batched at loop exit so the per-row path stays free of atomics.
   obs::metrics()
       .counter("core.joc.rows_total", {}, "JOC feature rows built")

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "par/par.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -323,12 +324,42 @@ FriendSeekerResult FriendSeeker::run(
       return true;
     };
 
+    // The composite matrix is phase 2's dominant allocation; it and its
+    // budget charge are hoisted out of the refinement loop and reused every
+    // iteration. A failed charge degrades exactly like an in-iteration
+    // budget failure: keep the phase-1 graph.
+    std::optional<runtime::MemoryCharge> composite_charge;
+    nn::Matrix composite;
+    bool phase2_ready = true;
+    try {
+      composite_charge.emplace(
+          ctx, universe.pairs.size() * composite_width * sizeof(double),
+          "core.phase2.composite");
+      composite = nn::Matrix(universe.pairs.size(), composite_width);
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kBudget) throw;
+      phase2_ready = false;
+      diagnostics.report(util::Severity::kError, e.code(), "pipeline",
+                         std::string("phase 2 abandoned, keeping phase-1 "
+                                     "graph: ") +
+                             e.what());
+      result.degradation.add("phase2.refine", "memory", e.what(),
+                             start_iteration - 1, config_.max_iterations);
+    }
+
+    // Hoisted per-iteration temporaries: capacity survives across
+    // iterations instead of being reallocated each refinement pass.
+    std::vector<std::size_t> svm_rows;
+    std::vector<int> svm_labels;
+    std::vector<std::size_t> order;
+    std::vector<double> decision;
+
     // Per-phase budget for the whole refinement loop; the loop-top probes
     // below truncate at iteration boundaries, where the last-good graph
     // and checkpoint are both current.
     runtime::PhaseScope phase2_scope(ctx, config_.phase2_budget_sec);
     for (int iteration = start_iteration;
-         iteration <= config_.max_iterations; ++iteration) {
+         phase2_ready && iteration <= config_.max_iterations; ++iteration) {
       if (ctx != nullptr && ctx->cancelled()) {
         result.degradation.add("phase2.refine", "cancelled",
                                "stopped at iteration boundary; the last "
@@ -347,24 +378,33 @@ FriendSeekerResult FriendSeeker::run(
       iter_span.arg("iteration", static_cast<double>(iteration));
       try {
       // Composite features v = h ⊕ s for every candidate pair on the
-      // current graph. The charge also stands in for the k-hop subgraph
-      // working set, which is bounded by the composite width per pair.
-      const runtime::MemoryCharge composite_charge(
-          ctx, universe.pairs.size() * composite_width * sizeof(double),
-          "core.phase2.composite");
-      nn::Matrix composite(universe.pairs.size(), composite_width);
-      for (std::size_t i = 0; i < universe.pairs.size(); ++i) {
-        const auto [a, b] = universe.pairs[i];
-        double* row = composite.row(i);
-        const double* h = embeddings.row(i);
-        std::copy(h, h + d, row);
-        const std::vector<double> s =
-            config_.use_social_feature
-                ? social_proximity_feature(current, a, b, social_cfg,
-                                           edge_feature)
-                : heuristic_social_feature(current, a, b, social_cfg);
-        std::copy(s.begin(), s.end(), row + d);
-      }
+      // current graph. Pairs fan out over the pool in fixed chunks; each
+      // chunk reuses one social/edge scratch pair across its pairs, and the
+      // k-hop working set is covered by the per-worker scratch charge.
+      par::ParallelOptions copts;
+      copts.context = ctx;
+      copts.what = "core.phase2.composite";
+      copts.grain = 8;
+      copts.scratch_bytes_per_worker = (social_width + d) * sizeof(double);
+      par::parallel_for_chunks(
+          universe.pairs.size(), copts,
+          [&](const par::ChunkRange& chunk) {
+            std::vector<double> social, edge_scratch;
+            social.reserve(social_width);
+            edge_scratch.reserve(d);
+            for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+              const auto [a, b] = universe.pairs[i];
+              double* row = composite.row(i);
+              const double* h = embeddings.row(i);
+              std::copy(h, h + d, row);
+              if (config_.use_social_feature)
+                social_proximity_feature(current, a, b, social_cfg,
+                                         edge_feature, social, edge_scratch);
+              else
+                heuristic_social_feature(current, a, b, social_cfg, social);
+              std::copy(social.begin(), social.end(), row + d);
+            }
+          });
 
       // Train C' on the labeled pairs (subsampled under the kernel cap).
       // The RNG is derived from (seed, iteration) alone — never from how
@@ -374,28 +414,25 @@ FriendSeekerResult FriendSeeker::run(
       util::Rng svm_rng(config_.seed ^ 0x5117ULL ^
                         (static_cast<std::uint64_t>(iteration) *
                          0x9e3779b97f4a7c15ULL));
-      std::vector<std::size_t> svm_rows = train_rows;
-      std::vector<int> svm_labels = train_labels;
+      svm_rows.assign(train_rows.begin(), train_rows.end());
+      svm_labels.assign(train_labels.begin(), train_labels.end());
       if (svm_rows.size() > config_.max_svm_train_rows) {
-        std::vector<std::size_t> order(svm_rows.size());
+        order.resize(svm_rows.size());
         for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
         svm_rng.shuffle(order);
         order.resize(config_.max_svm_train_rows);
-        std::vector<std::size_t> sub_rows;
-        std::vector<int> sub_labels;
-        for (std::size_t i : order) {
-          sub_rows.push_back(svm_rows[i]);
-          sub_labels.push_back(svm_labels[i]);
+        for (std::size_t j = 0; j < order.size(); ++j) {
+          svm_rows[j] = train_rows[order[j]];
+          svm_labels[j] = train_labels[order[j]];
         }
-        svm_rows = std::move(sub_rows);
-        svm_labels = std::move(sub_labels);
+        svm_rows.resize(order.size());
+        svm_labels.resize(order.size());
       }
 
       ml::StandardScaler scaler;
       const nn::Matrix svm_train =
           scaler.fit_transform(composite.gather_rows(svm_rows));
       const nn::Matrix all_scaled = scaler.transform(composite);
-      std::vector<double> decision;
       if (config_.phase2_classifier ==
           FriendSeekerConfig::Phase2Classifier::kLogistic) {
         ml::LogisticClassifier clf(config_.logistic);

@@ -113,7 +113,8 @@ std::vector<double> PresenceModel::predict_proba_encoded(
     const nn::Matrix& features) const {
   if (!trained_)
     throw std::logic_error("PresenceModel: predict before train");
-  return knn_.predict_proba(code_scaler_.transform(features));
+  return knn_.predict_proba(code_scaler_.transform(features),
+                            config_.context);
 }
 
 std::vector<int> PresenceModel::predict(const nn::Matrix& jocs) const {

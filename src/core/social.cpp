@@ -10,6 +10,18 @@ namespace fs::core {
 std::vector<double> social_proximity_feature(
     const graph::Graph& g, data::UserId a, data::UserId b,
     const SocialFeatureConfig& config, const EdgeFeatureFn& edge_feature) {
+  std::vector<double> feature, edge_scratch;
+  social_proximity_feature(g, a, b, config, edge_feature, feature,
+                           edge_scratch);
+  return feature;
+}
+
+void social_proximity_feature(const graph::Graph& g, data::UserId a,
+                              data::UserId b,
+                              const SocialFeatureConfig& config,
+                              const EdgeFeatureFn& edge_feature,
+                              std::vector<double>& out,
+                              std::vector<double>& edge_scratch) {
   if (config.k < 2)
     throw std::invalid_argument("social_proximity_feature: k must be >= 2");
   graph::KHopOptions khop = config.khop;
@@ -17,43 +29,49 @@ std::vector<double> social_proximity_feature(
   const graph::KHopSubgraph sub = graph::extract_khop_subgraph(g, a, b, khop);
 
   const std::size_t d = config.feature_dim;
-  std::vector<double> feature(static_cast<std::size_t>(config.k - 1) * d,
-                              0.0);
-  std::vector<double> edge_vec;
+  out.assign(static_cast<std::size_t>(config.k - 1) * d, 0.0);
   for (std::size_t bucket = 0; bucket < sub.paths_by_length.size();
        ++bucket) {
-    double* slot = feature.data() + bucket * d;
+    double* slot = out.data() + bucket * d;
     for (const graph::Path& path : sub.paths_by_length[bucket]) {
       for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        if (!edge_feature(path[i], path[i + 1], edge_vec)) continue;
-        if (edge_vec.size() != d)
+        if (!edge_feature(path[i], path[i + 1], edge_scratch)) continue;
+        if (edge_scratch.size() != d)
           throw std::logic_error(
               "social_proximity_feature: edge feature width mismatch");
-        for (std::size_t c = 0; c < d; ++c) slot[c] += edge_vec[c];
+        for (std::size_t c = 0; c < d; ++c) slot[c] += edge_scratch[c];
       }
     }
   }
-  return feature;
 }
 
 std::vector<double> heuristic_social_feature(
     const graph::Graph& g, data::UserId a, data::UserId b,
     const SocialFeatureConfig& config) {
+  std::vector<double> feature;
+  heuristic_social_feature(g, a, b, config, feature);
+  return feature;
+}
+
+void heuristic_social_feature(const graph::Graph& g, data::UserId a,
+                              data::UserId b,
+                              const SocialFeatureConfig& config,
+                              std::vector<double>& out) {
   if (config.k < 2)
     throw std::invalid_argument("heuristic_social_feature: k must be >= 2");
-  std::vector<double> feature;
-  feature.push_back(graph::common_neighbors_score(g, a, b));
-  feature.push_back(graph::jaccard_score(g, a, b));
-  feature.push_back(graph::adamic_adar_score(g, a, b));
-  feature.push_back(graph::katz_score(g, a, b, 0.05, config.k));
+  out.clear();
+  out.reserve(static_cast<std::size_t>(config.k - 1) * config.feature_dim);
+  out.push_back(graph::common_neighbors_score(g, a, b));
+  out.push_back(graph::jaccard_score(g, a, b));
+  out.push_back(graph::adamic_adar_score(g, a, b));
+  out.push_back(graph::katz_score(g, a, b, 0.05, config.k));
   graph::KHopOptions khop = config.khop;
   khop.k = config.k;
   for (std::size_t n : graph::khop_path_counts(g, a, b, khop))
-    feature.push_back(static_cast<double>(n));
+    out.push_back(static_cast<double>(n));
   // Same width as the paper's feature so classifiers are interchangeable.
-  feature.resize(static_cast<std::size_t>(config.k - 1) * config.feature_dim,
-                 0.0);
-  return feature;
+  out.resize(static_cast<std::size_t>(config.k - 1) * config.feature_dim,
+             0.0);
 }
 
 }  // namespace fs::core

@@ -36,11 +36,27 @@ std::vector<double> social_proximity_feature(const graph::Graph& g,
                                              const SocialFeatureConfig& config,
                                              const EdgeFeatureFn& edge_feature);
 
+/// Scratch-reusing variant for hot loops: `out` is resized and zeroed,
+/// `edge_scratch` is handed to `edge_feature` so the per-edge vector is
+/// allocated once per worker instead of once per pair.
+void social_proximity_feature(const graph::Graph& g, data::UserId a,
+                              data::UserId b,
+                              const SocialFeatureConfig& config,
+                              const EdgeFeatureFn& edge_feature,
+                              std::vector<double>& out,
+                              std::vector<double>& edge_scratch);
+
 /// Heuristic alternative for the ablation: [common neighbors, Jaccard,
 /// Adamic-Adar, Katz, path counts per length 2..k], zero-padded/truncated
 /// to the same width as the paper's feature for drop-in comparison.
 std::vector<double> heuristic_social_feature(const graph::Graph& g,
                                              data::UserId a, data::UserId b,
                                              const SocialFeatureConfig& config);
+
+/// Scratch-reusing variant of heuristic_social_feature.
+void heuristic_social_feature(const graph::Graph& g, data::UserId a,
+                              data::UserId b,
+                              const SocialFeatureConfig& config,
+                              std::vector<double>& out);
 
 }  // namespace fs::core

@@ -20,15 +20,21 @@ namespace {
 
 /// Depth-first enumeration of simple a->b paths of exactly `target_len`
 /// edges, avoiding excluded vertices. `stack` carries the partial path.
+/// One instance is reused across target lengths so the node-count-sized
+/// marker buffer is allocated once per pair, not once per length.
 class PathEnumerator {
  public:
-  PathEnumerator(const Graph& g, NodeId b, int target_len,
+  PathEnumerator(const Graph& g, NodeId b,
                  const std::vector<char>& excluded, std::size_t cap,
-                 std::vector<Path>& out)
-      : g_(g), b_(b), target_len_(target_len), excluded_(excluded),
-        cap_(cap), out_(out), on_stack_(g.node_count(), 0) {}
+                 int max_len)
+      : g_(g), b_(b), excluded_(excluded), cap_(cap),
+        on_stack_(g.node_count(), 0) {
+    stack_.reserve(static_cast<std::size_t>(max_len) + 1);
+  }
 
-  void run(NodeId a) {
+  void run(NodeId a, int target_len, std::vector<Path>& out) {
+    target_len_ = target_len;
+    out_ = &out;
     stack_.push_back(a);
     on_stack_[a] = 1;
     dfs(a, 0);
@@ -38,14 +44,14 @@ class PathEnumerator {
 
  private:
   void dfs(NodeId v, int depth) {
-    if (out_.size() >= cap_) return;
+    if (out_->size() >= cap_) return;
     if (depth == target_len_ - 1) {
       // One hop left: succeed iff v is adjacent to b (and b not already on
       // the stack — b never is, because interior vertices skip it below).
       if (g_.has_edge(v, b_)) {
         Path path = stack_;
         path.push_back(b_);
-        out_.push_back(std::move(path));
+        out_->push_back(std::move(path));
       }
       return;
     }
@@ -57,16 +63,16 @@ class PathEnumerator {
       dfs(w, depth + 1);
       on_stack_[w] = 0;
       stack_.pop_back();
-      if (out_.size() >= cap_) return;
+      if (out_->size() >= cap_) return;
     }
   }
 
   const Graph& g_;
   NodeId b_;
-  int target_len_;
+  int target_len_ = 0;
   const std::vector<char>& excluded_;
   std::size_t cap_;
-  std::vector<Path>& out_;
+  std::vector<Path>* out_ = nullptr;
   std::vector<char> on_stack_;
   Path stack_;
 };
@@ -94,11 +100,11 @@ KHopSubgraph extract_khop_subgraph(const Graph& g, NodeId a, NodeId b,
   // "exclude all nodes and edges" step without copying the graph.
   std::vector<char> excluded(g.node_count(), 0);
 
+  PathEnumerator enumerator(g, b, excluded, options.max_paths_per_length,
+                            options.k);
   for (int length = 2; length <= options.k; ++length) {
     auto& bucket = result.paths_by_length[static_cast<std::size_t>(length - 2)];
-    PathEnumerator enumerator(g, b, length, excluded,
-                              options.max_paths_per_length, bucket);
-    enumerator.run(a);
+    enumerator.run(a, length, bucket);
     for (const Path& path : bucket)
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
         excluded[path[i]] = 1;

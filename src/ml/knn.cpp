@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "par/par.h"
 
 namespace fs::ml {
 
@@ -53,12 +54,23 @@ double KnnClassifier::predict_proba(const double* query) const {
 }
 
 std::vector<double> KnnClassifier::predict_proba(
-    const nn::Matrix& queries) const {
+    const nn::Matrix& queries, runtime::ExecutionContext* context) const {
   if (queries.cols() != features_.cols())
     throw std::invalid_argument("KnnClassifier: query width mismatch");
   std::vector<double> out(queries.rows());
-  for (std::size_t r = 0; r < queries.rows(); ++r)
+  // One linear scan per query, queries fanned out across the pool; each
+  // query's heap is chunk-local, so slots never contend.
+  par::ParallelOptions popts;
+  popts.context = context;
+  popts.what = "ml.knn.batch";
+  popts.grain = par::grain_for(features_.rows() * features_.cols());
+  // KNN seeds G0: without it there is nothing to degrade to, so an expired
+  // deadline must not abort the batch — the pipeline truncates at the next
+  // phase boundary instead. Cancellation (SIGINT) still aborts per chunk.
+  popts.hard_deadline = false;
+  par::parallel_for(queries.rows(), popts, [&](std::size_t r) {
     out[r] = predict_proba(queries.row(r));
+  });
   // One batched add per matrix call, not one per query row.
   obs::metrics()
       .counter("ml.knn.queries_total", {}, "KNN probability queries answered")
@@ -66,8 +78,10 @@ std::vector<double> KnnClassifier::predict_proba(
   return out;
 }
 
-std::vector<int> KnnClassifier::predict(const nn::Matrix& queries) const {
-  const std::vector<double> probs = predict_proba(queries);
+std::vector<int> KnnClassifier::predict(const nn::Matrix& queries,
+                                        runtime::ExecutionContext* context)
+    const {
+  const std::vector<double> probs = predict_proba(queries, context);
   std::vector<int> out(probs.size());
   for (std::size_t i = 0; i < probs.size(); ++i) out[i] = probs[i] >= 0.5;
   return out;

@@ -8,6 +8,7 @@
 
 #include "nn/matrix.h"
 #include "util/binary_io.h"
+#include "util/runtime.h"
 
 namespace fs::ml {
 
@@ -22,8 +23,14 @@ class KnnClassifier {
   /// (Euclidean distance). Ties in distance resolve by training order.
   double predict_proba(const double* query) const;
 
-  std::vector<double> predict_proba(const nn::Matrix& queries) const;
-  std::vector<int> predict(const nn::Matrix& queries) const;
+  /// Batch queries run one neighbor search per row across the fs::par
+  /// pool; `context` (optional) is probed for cancellation/deadline at
+  /// chunk granularity.
+  std::vector<double> predict_proba(
+      const nn::Matrix& queries,
+      runtime::ExecutionContext* context = nullptr) const;
+  std::vector<int> predict(const nn::Matrix& queries,
+                           runtime::ExecutionContext* context = nullptr) const;
 
   std::size_t k() const { return k_; }
   std::size_t train_size() const { return labels_.size(); }

@@ -6,25 +6,49 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/par.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace fs::ml {
 
+namespace {
+
+double dot(const double* x, const double* y, std::size_t dim) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// Per-row squared norms — the cached half of the RBF fast path.
+std::vector<double> row_squared_norms(const nn::Matrix& m) {
+  std::vector<double> norms(m.rows());
+  par::ParallelOptions popts;
+  popts.what = "ml.svm.norms";
+  popts.grain = par::grain_for(m.cols());
+  par::parallel_for(m.rows(), popts, [&](std::size_t i) {
+    norms[i] = dot(m.row(i), m.row(i), m.cols());
+  });
+  return norms;
+}
+
+}  // namespace
+
 SvmClassifier::SvmClassifier(const SvmConfig& config) : config_(config) {
   if (config.c <= 0.0)
     throw std::invalid_argument("SvmClassifier: C must be > 0");
 }
 
-double SvmClassifier::kernel(const double* x, const double* y,
-                             std::size_t dim) const {
-  double dist = 0.0;
-  for (std::size_t i = 0; i < dim; ++i) {
-    const double d = x[i] - y[i];
-    dist += d * d;
-  }
-  return std::exp(-gamma_ * dist);
+double SvmClassifier::kernel_to_support(std::size_t sv, const double* query,
+                                        double query_norm) const {
+  const double dist = support_norms_[sv] + query_norm -
+                      2.0 * dot(support_.row(sv), query, support_.cols());
+  return std::exp(-gamma_ * (dist > 0.0 ? dist : 0.0));
+}
+
+void SvmClassifier::cache_support_norms() {
+  support_norms_ = row_squared_norms(support_);
 }
 
 void SvmClassifier::fit(const nn::Matrix& features,
@@ -61,12 +85,18 @@ void SvmClassifier::fit(const nn::Matrix& features,
   if (!has_pos || !has_neg)
     throw std::invalid_argument("SvmClassifier::fit: need both classes");
 
-  // Gamma "scale": 1 / (dim * mean feature variance).
+  // Gamma "scale": 1 / (dim * mean feature variance). Per-column variances
+  // land in disjoint slots; the cross-column sum stays sequential in column
+  // order so the float association matches any thread count.
   if (config_.gamma > 0.0) {
     gamma_ = config_.gamma;
   } else {
-    double mean_var = 0.0;
-    for (std::size_t c = 0; c < dim; ++c) {
+    std::vector<double> col_var(dim);
+    par::ParallelOptions vopts;
+    vopts.context = config_.context;
+    vopts.what = "ml.svm.gamma";
+    vopts.grain = par::grain_for(2 * n);
+    par::parallel_for(dim, vopts, [&](std::size_t c) {
       double mean = 0.0, sq = 0.0;
       for (std::size_t r = 0; r < n; ++r) mean += features(r, c);
       mean /= static_cast<double>(n);
@@ -74,26 +104,38 @@ void SvmClassifier::fit(const nn::Matrix& features,
         const double d = features(r, c) - mean;
         sq += d * d;
       }
-      mean_var += sq / static_cast<double>(n);
-    }
+      col_var[c] = sq / static_cast<double>(n);
+    });
+    double mean_var = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) mean_var += col_var[c];
     mean_var /= static_cast<double>(dim);
     gamma_ = mean_var > 1e-12 ? 1.0 / (static_cast<double>(dim) * mean_var)
                               : 1.0 / static_cast<double>(dim);
   }
 
   // Precomputed kernel matrix (symmetric; memory guarded by max_train_rows
-  // and charged against the run's memory budget when governed).
+  // and charged against the run's memory budget when governed). Cached row
+  // norms turn each RBF entry into one dot product; rows fan out over the
+  // pool filling the upper triangle, then a mirror pass copies it down.
   const runtime::MemoryCharge kernel_charge(
       config_.context, n * n * sizeof(double), "ml.svm.kernel");
+  const std::vector<double> norms = row_squared_norms(features);
   nn::Matrix K(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
+  par::ParallelOptions kopts;
+  kopts.context = config_.context;
+  kopts.what = "ml.svm.kernel";
+  kopts.grain = par::grain_for(n * dim / 2 + 1);
+  par::parallel_for(n, kopts, [&](std::size_t i) {
     K(i, i) = 1.0;
+    const double* xi = features.row(i);
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double k = kernel(features.row(i), features.row(j), dim);
-      K(i, j) = k;
-      K(j, i) = k;
+      const double dist =
+          norms[i] + norms[j] - 2.0 * dot(xi, features.row(j), dim);
+      K(i, j) = std::exp(-gamma_ * (dist > 0.0 ? dist : 0.0));
     }
-  }
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) K(j, i) = K(i, j);
 
   std::vector<double> alpha(n, 0.0);
   double b = 0.0;
@@ -191,6 +233,7 @@ void SvmClassifier::fit(const nn::Matrix& features,
   for (std::size_t s = 0; s < sv.size(); ++s)
     alpha_y_[s] = alpha[sv[s]] * y[sv[s]];
   bias_ = b;
+  cache_support_norms();
   trained_ = true;
 }
 
@@ -198,8 +241,9 @@ double SvmClassifier::decision(const double* query) const {
   if (!trained_) throw std::logic_error("SvmClassifier: predict before fit");
   double f = bias_;
   const std::size_t dim = support_.cols();
+  const double query_norm = dot(query, query, dim);
   for (std::size_t s = 0; s < support_.rows(); ++s)
-    f += alpha_y_[s] * kernel(support_.row(s), query, dim);
+    f += alpha_y_[s] * kernel_to_support(s, query, query_norm);
   return f;
 }
 
@@ -207,8 +251,15 @@ std::vector<double> SvmClassifier::decision(const nn::Matrix& queries) const {
   if (queries.cols() != support_.cols())
     throw std::invalid_argument("SvmClassifier: query width mismatch");
   std::vector<double> out(queries.rows());
-  for (std::size_t r = 0; r < queries.rows(); ++r)
+  // Full-universe evaluation is the phase-2 hot path: queries fan out over
+  // the pool, each row scanning every support vector independently.
+  par::ParallelOptions popts;
+  popts.context = config_.context;
+  popts.what = "ml.svm.decision";
+  popts.grain = par::grain_for(support_.rows() * support_.cols() + 1);
+  par::parallel_for(queries.rows(), popts, [&](std::size_t r) {
     out[r] = decision(queries.row(r));
+  });
   obs::metrics()
       .counter("ml.svm.decisions_total", {}, "SVM decision-function queries")
       .add(queries.rows());
@@ -328,6 +379,7 @@ SvmClassifier SvmClassifier::load(util::BinaryReader& reader) {
   svm.calibrated_ = reader.u64() != 0;
   svm.platt_a_ = reader.f64();
   svm.platt_b_ = reader.f64();
+  svm.cache_support_norms();  // derived, never serialized
   return svm;
 }
 

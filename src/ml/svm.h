@@ -67,12 +67,20 @@ class SvmClassifier {
   bool trained() const { return trained_; }
 
  private:
-  double kernel(const double* x, const double* y, std::size_t dim) const;
+  /// RBF between a support vector (by index) and a query with precomputed
+  /// squared norms: ‖x−y‖² = ‖x‖² + ‖y‖² − 2·x·y, clamped at 0 (the
+  /// expansion can go epsilon-negative where the direct difference
+  /// cannot).
+  double kernel_to_support(std::size_t sv, const double* query,
+                           double query_norm) const;
+  /// Rebuilds support_norms_ from support_ (after fit and load).
+  void cache_support_norms();
 
   SvmConfig config_;
   double gamma_ = 1.0;
   double bias_ = 0.0;
   nn::Matrix support_;              // support vectors (rows)
+  std::vector<double> support_norms_;  // ‖support row‖² (derived, not saved)
   std::vector<double> alpha_y_;     // alpha_i * y_i per support vector
   bool trained_ = false;
   bool calibrated_ = false;

@@ -3,7 +3,27 @@
 #include <cmath>
 #include <cstring>
 
+#include "par/par.h"
+
 namespace fs::nn {
+
+namespace {
+
+/// Output rows are independent in every GEMM variant below, so they fan
+/// out across the pool. The grain is sized from the per-row flop count
+/// alone (never the thread count): small products — autoencoder
+/// mini-batches — collapse to a single chunk and run inline, paying
+/// nothing; the wide batch-encode products split into many chunks. Each
+/// output element accumulates over k in ascending order in both the
+/// sequential and parallel paths, so results are bit-identical either way.
+par::ParallelOptions gemm_options(std::size_t per_row_ops, const char* what) {
+  par::ParallelOptions options;
+  options.what = what;
+  options.grain = par::grain_for(per_row_ops, std::size_t{1} << 17);
+  return options;
+}
+
+}  // namespace
 
 Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return {};
@@ -73,16 +93,18 @@ Matrix matmul_nn(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_nn: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
   // i-k-j order: streams through b and c rows sequentially.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.row(i);
-    const double* arow = a.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  par::parallel_for(
+      a.rows(), gemm_options(a.cols() * b.cols(), "nn.matmul_nn"),
+      [&](std::size_t i) {
+        double* crow = c.row(i);
+        const double* arow = a.row(i);
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          const double* brow = b.row(k);
+          for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
+      });
   return c;
 }
 
@@ -91,16 +113,18 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_nt: inner dimension mismatch");
   Matrix c(a.rows(), b.rows());
   // Dot products of contiguous rows: ideal locality.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  par::parallel_for(
+      a.rows(), gemm_options(a.cols() * b.rows(), "nn.matmul_nt"),
+      [&](std::size_t i) {
+        const double* arow = a.row(i);
+        double* crow = c.row(i);
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+          const double* brow = b.row(j);
+          double acc = 0.0;
+          for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+          crow[j] = acc;
+        }
+      });
   return c;
 }
 
@@ -108,16 +132,20 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("matmul_tn: inner dimension mismatch");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row(k);
-    const double* brow = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // Row-parallel orientation: each output row i accumulates over k in
+  // ascending order (the same per-element order as a k-major sweep), so
+  // the restructuring is invisible in the bits.
+  par::parallel_for(
+      a.cols(), gemm_options(a.rows() * b.cols(), "nn.matmul_tn"),
+      [&](std::size_t i) {
+        double* crow = c.row(i);
+        for (std::size_t k = 0; k < a.rows(); ++k) {
+          const double aki = a(k, i);
+          if (aki == 0.0) continue;
+          const double* brow = b.row(k);
+          for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+        }
+      });
   return c;
 }
 

@@ -3,7 +3,10 @@
 // The repository trains small fully-connected networks (the paper's
 // supervised autoencoder and classifier); everything reduces to the three
 // GEMM variants below, implemented with cache-friendly loop orders. No BLAS
-// dependency — the evaluation environment is offline and single-core.
+// dependency — the evaluation environment is offline. Large products fan
+// their output rows across fs::par (deterministically: per-element
+// accumulation order is fixed, so thread count never changes the bits);
+// mini-batch-sized products stay inline.
 #pragma once
 
 #include <cstddef>

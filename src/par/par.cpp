@@ -1,0 +1,141 @@
+#include "par/par.h"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fs::par {
+
+namespace {
+
+/// Set while a thread is executing chunks of some region; nested
+/// parallel_for calls from such a thread run inline instead of re-entering
+/// the pool (which would deadlock a fork-join pool).
+thread_local bool t_in_region = false;
+
+std::size_t resolve_grain(std::size_t n, std::size_t grain) {
+  if (grain == 0) grain = n / 64;
+  return grain > 0 ? grain : 1;
+}
+
+}  // namespace
+
+std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  grain = resolve_grain(n, grain);
+  return (n + grain - 1) / grain;
+}
+
+void parallel_for_chunks(std::size_t n, const ParallelOptions& options,
+                         const std::function<void(const ChunkRange&)>& body) {
+  if (n == 0) return;
+  const std::size_t grain = resolve_grain(n, options.grain);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  runtime::ExecutionContext* const ctx = options.context;
+
+  const auto probe = [&options, ctx] {
+    if (ctx == nullptr) return;
+    if (options.hard_deadline)
+      ctx->checkpoint(options.what);
+    else
+      ctx->throw_if_cancelled(options.what);
+  };
+
+  const auto make_chunk = [n, grain](std::size_t index) {
+    ChunkRange chunk;
+    chunk.index = index;
+    chunk.begin = index * grain;
+    chunk.end = chunk.begin + grain < n ? chunk.begin + grain : n;
+    return chunk;
+  };
+
+  // Inline path: one chunk, a one-thread pool, or a nested call. Same
+  // decomposition, ascending chunk order — byte-identical to the pooled
+  // path by construction, and the pool is never touched (so `--threads 1`
+  // spawns no threads at all).
+  if (chunks == 1 || t_in_region || threads() == 1) {
+    for (std::size_t index = 0; index < chunks; ++index) {
+      probe();
+      body(make_chunk(index));
+    }
+    return;
+  }
+
+  ThreadPool& workers = pool();
+  // Per-worker scratch is charged once, here, on the calling thread: budget
+  // violations must surface deterministically, not as a race between
+  // workers hitting the limit.
+  const runtime::MemoryCharge scratch_charge(
+      ctx, options.scratch_bytes_per_worker * workers.threads(),
+      options.what);
+
+  const bool observe = obs::metrics_enabled();
+  obs::Histogram* chunk_ms =
+      observe ? &obs::metrics().histogram(
+                    "span.par.chunk_ms", obs::default_duration_buckets_ms(),
+                    {}, "per-chunk wall time inside parallel regions")
+              : nullptr;
+  if (observe) {
+    obs::metrics()
+        .counter("par.regions_total", {}, "parallel regions executed")
+        .add(1);
+    obs::metrics()
+        .counter("par.chunks_total", {}, "chunks dispatched across regions")
+        .add(chunks);
+    obs::metrics()
+        .gauge("par.queue_depth", {},
+               "chunk count of the widest region so far (high-water)")
+        .set_max(static_cast<double>(chunks));
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> aborted{false};
+  std::atomic<std::uint64_t> stolen{0};
+  // First error by CHUNK INDEX, not by wall-clock arrival: which exception
+  // the caller sees must not depend on scheduling.
+  std::mutex error_mu;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  const auto record_error = [&](std::size_t index) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (index < error_index) {
+      error_index = index;
+      error = std::current_exception();
+    }
+    aborted.store(true, std::memory_order_relaxed);
+  };
+
+  workers.run([&](std::size_t slot) {
+    t_in_region = true;
+    for (;;) {
+      const std::size_t index =
+          next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= chunks || aborted.load(std::memory_order_relaxed)) break;
+      if (slot != 0) stolen.fetch_add(1, std::memory_order_relaxed);
+      try {
+        probe();
+        obs::Span span("par.chunk");
+        body(make_chunk(index));
+        if (chunk_ms != nullptr) chunk_ms->observe(span.milliseconds());
+      } catch (...) {
+        record_error(index);
+        break;
+      }
+    }
+    t_in_region = false;
+  });
+
+  if (observe)
+    obs::metrics()
+        .counter("par.chunks_stolen_total", {},
+                 "chunks executed by pool workers instead of the caller")
+        .add(stolen.load(std::memory_order_relaxed));
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace fs::par

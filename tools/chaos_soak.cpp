@@ -36,6 +36,7 @@
 #include "data/synthetic.h"
 #include "eval/pairs.h"
 #include "graph/metrics.h"
+#include "par/pool.h"
 #include "util/args.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -422,6 +423,9 @@ int main(int argc, char** argv) {
   args.add_option("seed", "1", "schedule stream seed");
   args.add_option("users", "90", "synthetic world size");
   args.add_option("work-dir", "", "scratch directory (default: a temp dir)");
+  args.add_option("threads", "0",
+                  "worker threads for parallel regions (0 = FS_THREADS env "
+                  "or hardware concurrency)");
   args.add_flag("budget-mode",
                 "verify graceful degradation under memory/deadline budgets "
                 "instead of running the soak");
@@ -433,6 +437,7 @@ int main(int argc, char** argv) {
                    args.help().c_str());
       return 0;
     }
+    par::set_threads(static_cast<std::size_t>(args.get_int("threads")));
     SoakOptions options;
     options.runs = static_cast<int>(args.get_int("runs"));
     options.seed = static_cast<std::uint64_t>(args.get_int("seed"));

@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "util/args.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -184,6 +185,10 @@ int cmd_attack(int argc, char** argv) {
   args.add_option("metrics-interval-sec", "0",
                   "also rewrite --metrics-out every S seconds, so a killed "
                   "run keeps telemetry (0 = only at exit)");
+  args.add_option("threads", "0",
+                  "worker threads for parallel regions (0 = FS_THREADS env "
+                  "or hardware concurrency); results are identical for any "
+                  "value");
   args.add_flag("baselines", "also run the four baseline attacks");
   args.add_flag("strict", "abort on the first malformed input line (default)");
   args.add_flag("permissive",
@@ -201,6 +206,7 @@ int cmd_attack(int argc, char** argv) {
   if (args.get_flag("strict") && args.get_flag("permissive"))
     throw std::invalid_argument("--strict and --permissive are exclusive");
   util::set_log_level(util::LogLevel::kInfo);
+  par::set_threads(static_cast<std::size_t>(args.get_int("threads")));
 
   // Observability: the registry is live whenever a metrics file was asked
   // for; the tracer only when a trace file was (spans stay two clock reads

@@ -6,16 +6,27 @@
 //
 //   perf_bench [--preset tiny|gowalla|brightkite] [--out BENCH_pipeline.json]
 //              [--metrics-out M.json] [--trace-out T.json] [--seed N]
+//              [--threads N] [--scaling 1,2,4,8]
 //   perf_bench --validate FILE    # schema-check an existing BENCH file
+//
+// --scaling re-runs the same attack once per listed thread count and emits
+// a "scaling" section: wall time, speedup vs the first entry, and a digest
+// of the run's outputs, so CI asserts byte-identity across thread counts in
+// the same pass that tracks the speedup curve.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "eval/harness.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "util/args.h"
 #include "util/logging.h"
 #include "util/runtime.h"
@@ -25,7 +36,7 @@ namespace {
 using namespace fs;
 namespace json = obs::json;
 
-constexpr double kSchemaVersion = 1.0;
+constexpr double kSchemaVersion = 2.0;
 
 /// World + seeker scaling per preset. "tiny" is sized for CI smoke runs
 /// (seconds); the named presets match the bench suite's sweep scale.
@@ -68,14 +79,65 @@ Preset make_preset(const std::string& name) {
                               "' (tiny | gowalla | brightkite)");
 }
 
+/// FNV-1a over everything an attack run computes: per-pair predictions,
+/// score bit patterns, and the final graph's adjacency. Two runs are
+/// byte-identical iff their digests match.
+std::string result_digest(const core::FriendSeekerResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (int p : result.test_predictions)
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)));
+  for (double s : result.test_scores) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &s, sizeof(bits));
+    mix(bits);
+  }
+  const graph::Graph& g = result.final_graph;
+  mix(g.node_count());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v)
+    for (graph::NodeId w : g.neighbors(v))
+      if (v < w) {
+        mix(v);
+        mix(w);
+      }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::vector<std::size_t> parse_scaling(const std::string& spec) {
+  std::vector<std::size_t> threads;
+  std::istringstream iss(spec);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    const unsigned long v = std::stoul(token);
+    if (v == 0) throw std::invalid_argument("--scaling entries must be >= 1");
+    threads.push_back(v);
+  }
+  if (threads.empty())
+    throw std::invalid_argument("--scaling needs at least one thread count");
+  return threads;
+}
+
 /// Checks one BENCH_pipeline.json against the schema this tool writes.
 /// Throws ParseError with the offending key on any mismatch.
 void validate_bench(const json::Value& root) {
   if (!root.is_object()) throw ParseError("root is not an object");
   if (root.at("schema_version").as_number() != kSchemaVersion)
-    throw ParseError("schema_version != 1");
+    throw ParseError("schema_version != 2");
   root.at("preset").as_string();
   root.at("seed").as_number();
+  if (root.at("threads").as_number() < 1.0)
+    throw ParseError("threads < 1");
+  if (root.at("host_hardware_threads").as_number() < 1.0)
+    throw ParseError("host_hardware_threads < 1");
+  root.at("result_digest").as_string();
 
   const json::Value& quality = root.at("quality");
   for (const char* key : {"f1", "precision", "recall"}) {
@@ -98,6 +160,27 @@ void validate_bench(const json::Value& root) {
     throw ParseError("totals.wall_ms is negative");
   if (root.at("peak_memory_bytes").as_number() < 0.0)
     throw ParseError("peak_memory_bytes is negative");
+
+  // The scaling section is optional (absent when --scaling was not given).
+  if (root.contains("scaling")) {
+    const json::Array& scaling = root.at("scaling").as_array();
+    if (scaling.empty()) throw ParseError("scaling is empty");
+    for (const json::Value& entry : scaling) {
+      if (entry.at("threads").as_number() < 1.0)
+        throw ParseError("scaling entry: threads < 1");
+      if (entry.at("wall_ms").as_number() < 0.0)
+        throw ParseError("scaling entry: negative wall_ms");
+      if (entry.at("speedup").as_number() < 0.0)
+        throw ParseError("scaling entry: negative speedup");
+      const double f1 = entry.at("f1").as_number();
+      if (f1 < 0.0 || f1 > 1.0)
+        throw ParseError("scaling entry: f1 outside [0, 1]");
+      entry.at("result_digest").as_string();
+      if (!entry.at("identical").as_bool())
+        throw ParseError("scaling entry: results differ across thread "
+                         "counts (determinism contract broken)");
+    }
+  }
 }
 
 int run_validate(const std::string& path) {
@@ -119,6 +202,31 @@ int run_validate(const std::string& path) {
   return 0;
 }
 
+struct RunOutcome {
+  double wall_ms = 0.0;
+  ml::Prf prf;
+  std::string digest;
+  std::size_t peak = 0;
+};
+
+RunOutcome run_attack_once(const Preset& preset,
+                           const eval::Experiment& experiment,
+                           std::size_t threads) {
+  par::set_threads(threads);
+  Preset run = preset;
+  runtime::ExecutionContext context;
+  run.seeker.context = &context;
+  obs::Span span("perf_bench.run");
+  eval::FriendSeekerAttack attack(run.seeker);
+  RunOutcome outcome;
+  outcome.prf = eval::run_attack(attack, experiment);
+  span.end();
+  outcome.wall_ms = span.milliseconds();
+  outcome.digest = result_digest(attack.last_result());
+  outcome.peak = context.peak_charged();
+  return outcome;
+}
+
 int run_bench(const util::ArgParser& args) {
   obs::set_metrics_enabled(true);
   obs::tracer().enable();
@@ -128,6 +236,8 @@ int run_bench(const util::ArgParser& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   preset.world.seed += seed;
   preset.seeker.seed += seed;
+  par::set_threads(static_cast<std::size_t>(args.get_int("threads")));
+  const std::size_t main_threads = par::threads();
 
   runtime::ExecutionContext context;
   preset.seeker.context = &context;
@@ -138,6 +248,7 @@ int run_bench(const util::ArgParser& args) {
   eval::FriendSeekerAttack attack(preset.seeker);
   const ml::Prf prf = eval::run_attack(attack, experiment);
   total_span.end();
+  const std::string main_digest = result_digest(attack.last_result());
 
   // Per-stage rollup from the spans the pipeline recorded.
   json::Array stages;
@@ -170,10 +281,46 @@ int run_bench(const util::ArgParser& args) {
   root["preset"] = preset_name;
   root["seed"] = seed;
   root["users"] = preset.world.user_count;
+  root["threads"] = main_threads;
+  root["host_hardware_threads"] =
+      std::max(1u, std::thread::hardware_concurrency());
+  root["result_digest"] = main_digest;
   root["quality"] = std::move(quality);
   root["stages"] = std::move(stages);
   root["totals"] = std::move(totals);
   root["peak_memory_bytes"] = context.peak_charged();
+
+  // Scaling sweep: one full re-run per requested thread count, after the
+  // stage rollup above so its spans don't pollute the per-stage numbers.
+  // Every run must reproduce the first run's digest bit for bit.
+  if (!args.get("scaling").empty()) {
+    json::Array scaling;
+    std::string reference_digest;
+    double reference_wall = 0.0;
+    for (std::size_t threads : parse_scaling(args.get("scaling"))) {
+      const RunOutcome outcome =
+          run_attack_once(preset, experiment, threads);
+      if (reference_digest.empty()) {
+        reference_digest = outcome.digest;
+        reference_wall = outcome.wall_ms;
+      }
+      json::Object entry;
+      entry["threads"] = threads;
+      entry["wall_ms"] = outcome.wall_ms;
+      entry["speedup"] =
+          outcome.wall_ms > 0.0 ? reference_wall / outcome.wall_ms : 0.0;
+      entry["f1"] = outcome.prf.f1;
+      entry["result_digest"] = outcome.digest;
+      entry["identical"] = outcome.digest == reference_digest;
+      std::printf("scaling: threads=%zu wall=%.0fms f1=%.4f digest=%s%s\n",
+                  threads, outcome.wall_ms, outcome.prf.f1,
+                  outcome.digest.c_str(),
+                  outcome.digest == reference_digest ? "" : " MISMATCH");
+      scaling.emplace_back(std::move(entry));
+    }
+    root["scaling"] = std::move(scaling);
+    par::set_threads(main_threads);
+  }
 
   const json::Value bench(std::move(root));
   validate_bench(bench);  // never ship a file the validator would reject
@@ -199,6 +346,13 @@ int main(int argc, char** argv) {
                   "also write the metrics snapshot (JSON + .prom twin)");
   args.add_option("trace-out", "", "also write the Chrome trace JSON");
   args.add_option("seed", "0", "seed offset for world and model RNG");
+  args.add_option("threads", "0",
+                  "worker threads for the measured run (0 = FS_THREADS env "
+                  "or hardware concurrency)");
+  args.add_option("scaling", "",
+                  "comma-separated thread counts (e.g. 1,2,4,8): re-run per "
+                  "count and emit the scaling section with byte-identity "
+                  "digests");
   args.add_option("validate", "",
                   "schema-check FILE instead of running the benchmark");
   args.add_flag("help", "show options");
