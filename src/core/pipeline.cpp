@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "block/cell_index.h"
 #include "core/checkpoint.h"
 #include "core/joc.h"
 #include "geo/spatial_division.h"
@@ -78,6 +80,12 @@ std::uint64_t run_fingerprint(const FriendSeekerConfig& config,
   mix(static_cast<std::uint64_t>(config.tau_days * 1e6));
   mix(config.presence.feature_dim);
   mix(static_cast<std::uint64_t>(config.phase2_classifier));
+  // Blocking changes which rows are ever scored, so a checkpoint written
+  // under one blocking configuration must not seed a run under another.
+  mix(static_cast<std::uint64_t>(config.blocking.mode));
+  mix(static_cast<std::uint64_t>(config.blocking.slot_tolerance));
+  mix(static_cast<std::uint64_t>(config.blocking.hop_expansion));
+  mix(config.blocking.auto_min_pairs);
   return h;
 }
 
@@ -119,20 +127,10 @@ FriendSeekerResult FriendSeeker::run(
   util::log_debug("FriendSeeker: STD I=", division->cell_count(),
                   " J=", slots.slot_count(), " joc_dim=", occupancy.joc_dim());
 
-  // ---- Candidate-pair universe and JOCs. ----
+  // ---- Candidate-pair universe. ----
   PairUniverse universe;
   universe.add(train_pairs);
   universe.add(test_pairs);
-  // The JOC matrix is the run's dominant allocation; charge its estimate
-  // against the memory budget up front so an over-budget configuration is
-  // rejected before the build instead of OOMing halfway through.
-  JocOptions joc_options;
-  joc_options.context = ctx;
-  const runtime::MemoryCharge joc_charge(
-      ctx, universe.pairs.size() * occupancy.joc_dim() * sizeof(double),
-      "core.joc.matrix");
-  const nn::Matrix all_jocs =
-      build_joc_matrix(occupancy, universe.pairs, joc_options);
 
   auto rows_of = [&](const std::vector<data::UserPair>& pairs) {
     std::vector<std::size_t> rows;
@@ -144,6 +142,167 @@ FriendSeekerResult FriendSeeker::run(
   };
   const std::vector<std::size_t> train_rows = rows_of(train_pairs);
   const std::vector<std::size_t> test_rows = rows_of(test_pairs);
+
+  // ---- Candidate predicate and blocking. ----
+  // The candidate predicate — cell co-occurrence within slot_tolerance, or
+  // at most hop_expansion hops in the strong-co-occurrence graph — is part
+  // of the MODEL, not just an optimization: a non-candidate pair has no
+  // mobility evidence (its n_ab channel is identically zero and it is
+  // outside phase 2's reachable closure), so it is never labeled a friend,
+  // in any mode. The --blocking mode then only decides whether such pairs
+  // are *scored*: off runs the full dense computation and gates the final
+  // label, on skips their feature rows entirely. That split is what makes
+  // a blocked run reproduce the dense run's final graph bit for bit while
+  // doing a fraction of the work — and what the differential tests pin.
+  //
+  // The documented recall-loss contract lives in the predicate itself: a
+  // genuinely hidden friend pair that never co-occurs and sits outside the
+  // hop radius is predicted non-friend (and, when blocking is on, counted
+  // in block.candidates_pruned).
+  const block::CellIndex cell_index(dataset, *division, slots, ctx);
+  const bool blocking_on =
+      block::blocking_enabled(config_.blocking, universe.pairs.size());
+  block::BlockingStats blocking_stats;
+  std::vector<char> candidate;
+  {
+    const graph::Graph strong = block::strong_cooccurrence_graph(cell_index);
+    candidate = block::filter_universe(cell_index, strong, universe.pairs,
+                                       config_.blocking, &blocking_stats);
+  }
+  constexpr std::size_t kInactive = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> active_of_row(universe.pairs.size(), kInactive);
+  std::vector<std::size_t> active_rows;
+  if (blocking_on) {
+    // Scored rows: candidates plus every train row. Train pairs are always
+    // scored — their labels are the attacker's own ground truth and both
+    // phases train on their feature rows — though a non-candidate train
+    // pair is still gated to non-friend like any other.
+    std::vector<char> keep = candidate;
+    for (std::size_t row : train_rows) {
+      if (!keep[row]) {
+        keep[row] = 1;
+        ++blocking_stats.forced_pairs;
+        ++blocking_stats.scored_pairs;
+        --blocking_stats.pruned_pairs;
+      }
+    }
+    active_rows.reserve(blocking_stats.scored_pairs);
+    for (std::size_t row = 0; row < keep.size(); ++row) {
+      if (keep[row]) {
+        active_of_row[row] = active_rows.size();
+        active_rows.push_back(row);
+      }
+    }
+  } else {
+    active_rows.resize(universe.pairs.size());
+    for (std::size_t row = 0; row < active_rows.size(); ++row) {
+      active_rows[row] = row;
+      active_of_row[row] = row;
+    }
+    blocking_stats = block::BlockingStats{};
+    blocking_stats.universe_pairs = universe.pairs.size();
+    blocking_stats.scored_pairs = universe.pairs.size();
+  }
+  const std::size_t active_count = active_rows.size();
+  auto active_indices_of = [&](const std::vector<std::size_t>& rows) {
+    std::vector<std::size_t> out;
+    out.reserve(rows.size());
+    for (std::size_t row : rows) out.push_back(active_of_row[row]);
+    return out;
+  };
+  const std::vector<std::size_t> train_active = active_indices_of(train_rows);
+  util::log_debug("FriendSeeker: universe=", universe.pairs.size(),
+                  " scored=", active_count,
+                  blocking_on ? " (blocking on)" : " (blocking off)");
+
+  // ---- Feature cache (run-local unless the caller shares one). ----
+  // The signature covers everything the cached rows are a function of: the
+  // binned dataset (cell-index content hash) for JOC rows, plus the
+  // presence recipe, seeds, and training set for encoded rows. One shared
+  // signature is conservative — a seed change also drops the still-valid
+  // JOC rows — but keeps invalidation impossible to get subtly wrong.
+  block::FeatureCache local_cache;
+  block::FeatureCache* const cache =
+      config_.feature_cache != nullptr ? config_.feature_cache : &local_cache;
+  std::uint64_t cache_signature = cell_index.signature();
+  {
+    const auto mix = [&cache_signature](std::uint64_t v) {
+      cache_signature ^= v;
+      cache_signature *= 0x100000001b3ULL;
+    };
+    const auto mix_double = [&](double v) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    };
+    mix(config_.seed);
+    mix(config_.presence.feature_dim);
+    mix(static_cast<std::uint64_t>(config_.presence.max_hidden_layers));
+    mix(config_.presence.max_hidden_width);
+    mix(static_cast<std::uint64_t>(config_.presence.epochs));
+    mix(config_.presence.batch_size);
+    mix(config_.presence.knn_k);
+    mix(config_.presence.max_autoencoder_rows);
+    mix(config_.presence.max_knn_rows);
+    mix(config_.presence.seed);
+    mix_double(config_.presence.learning_rate);
+    mix_double(config_.presence.alpha);
+    mix(train_pairs.size());
+    for (std::size_t i = 0; i < train_pairs.size(); ++i) {
+      mix((static_cast<std::uint64_t>(train_pairs[i].first) << 32) |
+          static_cast<std::uint64_t>(train_pairs[i].second));
+      mix(static_cast<std::uint64_t>(train_labels[i]));
+    }
+  }
+  cache->prepare(cache_signature, occupancy.joc_dim(),
+                 config_.presence.feature_dim, ctx);
+
+  // ---- JOC rows for the scored universe (cache-backed). ----
+  // The JOC matrix is the run's dominant allocation; charge its estimate
+  // against the memory budget up front so an over-budget configuration is
+  // rejected before the build instead of OOMing halfway through.
+  const runtime::MemoryCharge joc_charge(
+      ctx, active_count * occupancy.joc_dim() * sizeof(double),
+      "core.joc.matrix");
+  nn::Matrix all_jocs(active_count, occupancy.joc_dim());
+  {
+    obs::Span joc_span("core.joc.fill");
+    // Slot allocation is sequential (insert mutates the arena); only the
+    // row fills fan out, each into a disjoint arena row, so the result is
+    // byte-identical at any thread count.
+    std::vector<const double*> rows(active_count);
+    std::vector<double*> fill;
+    std::vector<std::size_t> fill_ai;
+    for (std::size_t ai = 0; ai < active_count; ++ai) {
+      const data::UserPair& pair = universe.pairs[active_rows[ai]];
+      if (const double* hit = cache->find_joc(pair)) {
+        rows[ai] = hit;
+      } else {
+        double* slot = cache->insert_joc(pair);
+        rows[ai] = slot;
+        fill.push_back(slot);
+        fill_ai.push_back(ai);
+      }
+    }
+    JocOptions joc_options;
+    joc_options.context = ctx;
+    par::ParallelOptions jopts;
+    jopts.context = ctx;
+    jopts.what = "core.joc.fill";
+    jopts.grain = par::grain_for(occupancy.joc_dim() * 4);
+    par::parallel_for(fill.size(), jopts, [&](std::size_t i) {
+      const data::UserPair& pair = universe.pairs[active_rows[fill_ai[i]]];
+      build_joc(occupancy, pair.first, pair.second, fill[i], joc_options);
+    });
+    par::parallel_for(active_count, jopts, [&](std::size_t ai) {
+      std::copy(rows[ai], rows[ai] + occupancy.joc_dim(), all_jocs.row(ai));
+    });
+    obs::metrics()
+        .counter("core.joc.rows_total", {}, "JOC feature rows built")
+        .add(fill.size());
+    joc_span.arg("rows", static_cast<double>(active_count));
+    joc_span.arg("built", static_cast<double>(fill.size()));
+  }
 
   FriendSeekerResult result;
   util::Diagnostics& diagnostics = result.diagnostics;
@@ -212,7 +371,7 @@ FriendSeekerResult FriendSeeker::run(
       // deadline truncates autoencoder training at the next epoch boundary
       // (a partially trained model is still usable), recorded below.
       runtime::PhaseScope phase1_scope(ctx, config_.phase1_budget_sec);
-      presence_storage->train(all_jocs.gather_rows(train_rows),
+      presence_storage->train(all_jocs.gather_rows(train_active),
                               train_labels);
       if (ctx != nullptr && ctx->deadline_expired())
         result.degradation.add("phase1.autoencoder", "deadline",
@@ -223,12 +382,38 @@ FriendSeekerResult FriendSeeker::run(
                     phase1_timer.seconds(), "s");
   }
   PresenceModel& presence = *presence_storage;
+  const std::size_t d = presence.feature_dim();
 
+  // ---- Presence features for the scored universe (cache-backed). ----
+  // Rows already in the cache (phase-2 re-entries, shared caches across
+  // runs) skip the encoder entirely; only the misses run a forward pass.
   const runtime::MemoryCharge embedding_charge(
-      ctx, universe.pairs.size() * presence.feature_dim() * sizeof(double),
-      "core.embeddings");
+      ctx, active_count * d * sizeof(double), "core.embeddings");
   obs::Span encode_span("core.pipeline.phase1.encode");
-  const nn::Matrix embeddings = presence.encode(all_jocs);
+  nn::Matrix embeddings(active_count, d);
+  {
+    std::vector<std::size_t> encode_ai;
+    for (std::size_t ai = 0; ai < active_count; ++ai) {
+      const data::UserPair& pair = universe.pairs[active_rows[ai]];
+      if (const double* hit = cache->find_presence(pair))
+        std::copy(hit, hit + d, embeddings.row(ai));
+      else
+        encode_ai.push_back(ai);
+    }
+    if (!encode_ai.empty()) {
+      const nn::Matrix fresh =
+          presence.encode(all_jocs.gather_rows(encode_ai));
+      for (std::size_t i = 0; i < encode_ai.size(); ++i) {
+        const std::size_t ai = encode_ai[i];
+        double* slot =
+            cache->insert_presence(universe.pairs[active_rows[ai]]);
+        std::copy(fresh.row(i), fresh.row(i) + d, slot);
+        std::copy(fresh.row(i), fresh.row(i) + d, embeddings.row(ai));
+      }
+    }
+    encode_span.arg("rows", static_cast<double>(active_count));
+    encode_span.arg("encoded", static_cast<double>(encode_ai.size()));
+  }
   const std::vector<double> phase1_proba =
       presence.predict_proba_encoded(embeddings);
   encode_span.end();
@@ -239,10 +424,12 @@ FriendSeekerResult FriendSeeker::run(
 
   // The operating point is picked on the training split (every attack in
   // the evaluation does the same — the attacker maximizes train F1).
-  auto tune_on_train = [&](const std::vector<double>& scores) {
+  // `active_scores` is indexed by active (scored) row, not universe row.
+  auto tune_on_train = [&](const std::vector<double>& active_scores) {
     std::vector<double> train_scores;
-    train_scores.reserve(train_rows.size());
-    for (std::size_t row : train_rows) train_scores.push_back(scores[row]);
+    train_scores.reserve(train_active.size());
+    for (std::size_t ai : train_active)
+      train_scores.push_back(active_scores[ai]);
     return ml::tune_f1_threshold(train_scores, train_labels).threshold;
   };
 
@@ -258,10 +445,13 @@ FriendSeekerResult FriendSeeker::run(
     // false edges that phase 2 then has to prune back (overshoot). The seed
     // cut is therefore never below the KNN's natural majority threshold.
     const double phase1_cut = std::max(tune_on_train(phase1_proba), 0.5);
-    predictions.resize(universe.pairs.size());
-    for (std::size_t i = 0; i < predictions.size(); ++i)
-      predictions[i] = phase1_proba[i] >= phase1_cut;
-    scores = phase1_proba;
+    predictions.assign(universe.pairs.size(), 0);
+    scores.assign(universe.pairs.size(), 0.0);
+    for (std::size_t ai = 0; ai < active_count; ++ai) {
+      const std::size_t row = active_rows[ai];
+      predictions[row] = candidate[row] && phase1_proba[ai] >= phase1_cut;
+      scores[row] = phase1_proba[ai];
+    }
   }
 
   auto record_iteration = [&](int iteration, double change,
@@ -303,9 +493,12 @@ FriendSeekerResult FriendSeeker::run(
     }
   };
 
+  // Cache traffic of phase-2 iterations >= 2: the steady state the cache
+  // exists for, measured for the result and the perf bench.
+  std::optional<block::FeatureCache::Stats> after_first_iteration;
+
   if (config_.iterate) {
     // ---- Phase 2: iterative hidden-friends inference. ----
-    const std::size_t d = presence.feature_dim();
     SocialFeatureConfig social_cfg;
     social_cfg.k = config_.k;
     social_cfg.feature_dim = d;
@@ -319,8 +512,13 @@ FriendSeekerResult FriendSeeker::run(
       const auto it =
           universe.row_of.find(data::make_pair_ordered(a, b));
       if (it == universe.row_of.end()) return false;
-      out.assign(embeddings.row(it->second),
-                 embeddings.row(it->second) + d);
+      // Pruned rows never carry an edge, so this probe only rejects pairs
+      // outside the universe; it also keeps the cache's hit accounting
+      // clean of pairs that were never cached.
+      if (active_of_row[it->second] == kInactive) return false;
+      const double* h = cache->find_presence(it->first);
+      if (h == nullptr) return false;
+      out.assign(h, h + d);
       return true;
     };
 
@@ -333,9 +531,9 @@ FriendSeekerResult FriendSeeker::run(
     bool phase2_ready = true;
     try {
       composite_charge.emplace(
-          ctx, universe.pairs.size() * composite_width * sizeof(double),
+          ctx, active_count * composite_width * sizeof(double),
           "core.phase2.composite");
-      composite = nn::Matrix(universe.pairs.size(), composite_width);
+      composite = nn::Matrix(active_count, composite_width);
     } catch (const Error& e) {
       if (e.code() != ErrorCode::kBudget) throw;
       phase2_ready = false;
@@ -377,25 +575,29 @@ FriendSeekerResult FriendSeeker::run(
       obs::Span iter_span("core.pipeline.phase2.iteration");
       iter_span.arg("iteration", static_cast<double>(iteration));
       try {
-      // Composite features v = h ⊕ s for every candidate pair on the
-      // current graph. Pairs fan out over the pool in fixed chunks; each
-      // chunk reuses one social/edge scratch pair across its pairs, and the
-      // k-hop working set is covered by the per-worker scratch charge.
+      // Composite features v = h ⊕ s for every scored pair on the current
+      // graph. Pairs fan out over the pool in fixed chunks; each chunk
+      // reuses one social/edge scratch pair across its pairs, and the
+      // k-hop working set is covered by the per-worker scratch charge. The
+      // presence half comes from the feature cache — a guaranteed hit
+      // after the phase-1 fill, which is exactly what the cache's hit-rate
+      // accounting is meant to show.
       par::ParallelOptions copts;
       copts.context = ctx;
       copts.what = "core.phase2.composite";
       copts.grain = 8;
       copts.scratch_bytes_per_worker = (social_width + d) * sizeof(double);
       par::parallel_for_chunks(
-          universe.pairs.size(), copts,
+          active_count, copts,
           [&](const par::ChunkRange& chunk) {
             std::vector<double> social, edge_scratch;
             social.reserve(social_width);
             edge_scratch.reserve(d);
-            for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
-              const auto [a, b] = universe.pairs[i];
-              double* row = composite.row(i);
-              const double* h = embeddings.row(i);
+            for (std::size_t ai = chunk.begin; ai < chunk.end; ++ai) {
+              const auto [a, b] = universe.pairs[active_rows[ai]];
+              double* row = composite.row(ai);
+              const double* h =
+                  cache->find_presence(universe.pairs[active_rows[ai]]);
               std::copy(h, h + d, row);
               if (config_.use_social_feature)
                 social_proximity_feature(current, a, b, social_cfg,
@@ -414,7 +616,7 @@ FriendSeekerResult FriendSeeker::run(
       util::Rng svm_rng(config_.seed ^ 0x5117ULL ^
                         (static_cast<std::uint64_t>(iteration) *
                          0x9e3779b97f4a7c15ULL));
-      svm_rows.assign(train_rows.begin(), train_rows.end());
+      svm_rows.assign(train_active.begin(), train_active.end());
       svm_labels.assign(train_labels.begin(), train_labels.end());
       if (svm_rows.size() > config_.max_svm_train_rows) {
         order.resize(svm_rows.size());
@@ -422,7 +624,7 @@ FriendSeekerResult FriendSeeker::run(
         svm_rng.shuffle(order);
         order.resize(config_.max_svm_train_rows);
         for (std::size_t j = 0; j < order.size(); ++j) {
-          svm_rows[j] = train_rows[order[j]];
+          svm_rows[j] = train_active[order[j]];
           svm_labels[j] = train_labels[order[j]];
         }
         svm_rows.resize(order.size());
@@ -457,25 +659,54 @@ FriendSeekerResult FriendSeeker::run(
 
       const double cut = tune_on_train(decision);
       // Hysteresis: borderline pairs keep their previous state, so the
-      // graph settles instead of oscillating around the cut.
+      // graph settles instead of oscillating around the cut. The decision
+      // spread is estimated on the candidate-or-train rows — the rows
+      // scored identically in every blocking mode (a dense run also scores
+      // non-candidates, but those are excluded here) — so a blocked and a
+      // dense run see the same margin, which is what makes their graphs
+      // comparable edge-for-edge.
       double margin = 0.0;
       if (config_.flip_margin > 0.0) {
         double mean = 0.0, sq = 0.0;
-        for (double d : decision) mean += d;
-        mean /= static_cast<double>(decision.size());
-        for (double d : decision) sq += (d - mean) * (d - mean);
+        std::size_t margin_rows = 0;
+        for (std::size_t ai = 0; ai < active_count; ++ai) {
+          if (!candidate[active_rows[ai]]) continue;
+          mean += decision[ai];
+          ++margin_rows;
+        }
+        for (std::size_t ai : train_active) {
+          if (candidate[active_rows[ai]]) continue;
+          mean += decision[ai];
+          ++margin_rows;
+        }
+        mean /= static_cast<double>(margin_rows);
+        for (std::size_t ai = 0; ai < active_count; ++ai) {
+          if (!candidate[active_rows[ai]]) continue;
+          const double delta = decision[ai] - mean;
+          sq += delta * delta;
+        }
+        for (std::size_t ai : train_active) {
+          if (candidate[active_rows[ai]]) continue;
+          const double delta = decision[ai] - mean;
+          sq += delta * delta;
+        }
         margin = config_.flip_margin *
-                 std::sqrt(sq / static_cast<double>(decision.size()));
+                 std::sqrt(sq / static_cast<double>(margin_rows));
       }
-      for (std::size_t i = 0; i < predictions.size(); ++i) {
-        if (decision[i] >= cut + margin) {
-          predictions[i] = 1;
-        } else if (decision[i] < cut - margin) {
-          predictions[i] = 0;
+      for (std::size_t ai = 0; ai < active_count; ++ai) {
+        const std::size_t row = active_rows[ai];
+        if (!candidate[row]) {
+          // Non-candidate rows are scored (dense mode) but never labeled
+          // friend — the candidate gate is part of the model.
+          predictions[row] = 0;
+        } else if (decision[ai] >= cut + margin) {
+          predictions[row] = 1;
+        } else if (decision[ai] < cut - margin) {
+          predictions[row] = 0;
         }
         // else: inside the hysteresis band — keep the previous state.
+        scores[row] = decision[ai];
       }
-      scores = decision;
 
       graph::Graph next = graph_from_predictions(dataset.user_count(),
                                                  universe, predictions);
@@ -483,6 +714,8 @@ FriendSeekerResult FriendSeeker::run(
       current = std::move(next);
       record_iteration(iteration, change, current);
       result.iterations_run = iteration;
+      if (!after_first_iteration.has_value())
+        after_first_iteration = cache->stats();
       const double edges = static_cast<double>(current.edge_count());
       iter_span.arg("edges", edges);
       iter_span.arg("change", change);
@@ -557,6 +790,47 @@ FriendSeekerResult FriendSeeker::run(
   }
   result.final_graph = std::move(current);
   if (ctx != nullptr) result.peak_memory_estimate = ctx->peak_charged();
+
+  // ---- Blocking & cache accounting. ----
+  result.blocking_active = blocking_on;
+  result.blocking = blocking_stats;
+  result.cache = cache->stats();
+  if (after_first_iteration.has_value()) {
+    const std::uint64_t late_hits =
+        result.cache.hits() - after_first_iteration->hits();
+    const std::uint64_t late_misses =
+        result.cache.misses() - after_first_iteration->misses();
+    if (late_hits + late_misses > 0)
+      result.phase2_cache_hit_rate =
+          static_cast<double>(late_hits) /
+          static_cast<double>(late_hits + late_misses);
+  }
+  obs::metrics()
+      .counter("block.candidates_pruned", {},
+               "candidate pairs pruned from the scored universe by blocking")
+      .add(static_cast<double>(blocking_stats.pruned_pairs));
+  obs::metrics()
+      .gauge("block.universe_pairs", {},
+             "candidate pairs supplied to the latest run")
+      .set(static_cast<double>(blocking_stats.universe_pairs));
+  obs::metrics()
+      .gauge("block.scored_pairs", {},
+             "pairs actually scored after blocking in the latest run")
+      .set(static_cast<double>(blocking_stats.scored_pairs));
+  obs::metrics()
+      .gauge("block.cache.bytes", {}, "feature-cache arena bytes held")
+      .set(static_cast<double>(result.cache.bytes));
+  obs::metrics()
+      .gauge("block.cache.hits", {}, "feature-cache lookup hits (cumulative)")
+      .set(static_cast<double>(result.cache.hits()));
+  obs::metrics()
+      .gauge("block.cache.misses", {},
+             "feature-cache lookup misses (cumulative)")
+      .set(static_cast<double>(result.cache.misses()));
+  obs::metrics()
+      .gauge("block.cache.phase2_hit_rate", {},
+             "cache hit rate over phase-2 iterations >= 2 of the latest run")
+      .set(result.phase2_cache_hit_rate);
   // Mirror the run's sinks into gauges so --metrics-out captures them even
   // when the caller never inspects the result object.
   obs::bridge_diagnostics(diagnostics);

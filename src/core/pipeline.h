@@ -7,6 +7,8 @@
 #include <map>
 #include <vector>
 
+#include "block/candidate_gen.h"
+#include "block/feature_cache.h"
 #include "core/presence.h"
 #include "core/social.h"
 #include "data/dataset.h"
@@ -51,6 +53,21 @@ struct FriendSeekerConfig {
   /// standard deviations of the decision distribution. Damps borderline
   /// pairs oscillating between iterations; 0 disables.
   double flip_margin = 0.3;
+
+  // ---- Candidate blocking & feature caching ----
+  /// Spatial-temporal blocking over the candidate universe: pairs that never
+  /// co-occur (shared grid cell within slot_tolerance slots) and sit outside
+  /// hop_expansion strong-co-occurrence hops are pruned from scoring and
+  /// predicted non-friend. Train pairs are always kept (the attacker owns
+  /// their labels). kAuto (default) turns blocking on only above
+  /// auto_min_pairs, so the balanced eval protocol stays dense.
+  block::BlockingConfig blocking;
+  /// Optional externally owned feature cache. When set, JOC rows and
+  /// presence features are read from / written into it, surviving across
+  /// runs that share a cache signature (same binned dataset, presence
+  /// config, seed, and training set). Null = a run-local cache (phase-2
+  /// iterations still hit it; nothing outlives the run).
+  block::FeatureCache* feature_cache = nullptr;
 
   // ---- Ablations ----
   bool use_social_feature = true;  // false: heuristic structural features
@@ -111,6 +128,18 @@ struct FriendSeekerResult {
   /// Peak of the context's charged-memory estimate during this run, in
   /// bytes (0 when no context was supplied).
   std::size_t peak_memory_estimate = 0;
+  /// True when candidate blocking actually pruned the universe (kOn, or
+  /// kAuto above the threshold).
+  bool blocking_active = false;
+  /// Universe/scored/pruned tier counts for this run (universe_pairs ==
+  /// scored_pairs when blocking was off).
+  block::BlockingStats blocking;
+  /// Feature-cache counters at the end of the run. With an external cache
+  /// these accumulate across runs.
+  block::FeatureCache::Stats cache;
+  /// JOC/presence cache hit rate over phase-2 iterations >= 2 (the steady
+  /// state the cache exists for); 0 when fewer than two iterations ran.
+  double phase2_cache_hit_rate = 0.0;
 };
 
 /// One trained attack instance. `run` trains on the labeled pairs and

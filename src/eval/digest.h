@@ -1,0 +1,24 @@
+// FNV-1a result fingerprints shared by perf_bench, the golden regression
+// test, and the blocking differential tests.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "graph/graph.h"
+
+namespace fs::eval {
+
+/// FNV-1a over everything an attack run computes: per-pair predictions,
+/// score bit patterns, and the final graph's adjacency. Two runs are
+/// byte-identical iff their digests match.
+std::string result_digest(const core::FriendSeekerResult& result);
+
+/// FNV-1a over the final graph's adjacency alone. Unlike result_digest,
+/// this is comparable across blocking modes: a blocked run never scores the
+/// pruned pairs (their scores differ from a dense run's), but the candidate
+/// gate is part of the model, so the inferred graphs must still match bit
+/// for bit — this digest is what the differential tests pin.
+std::string graph_digest(const graph::Graph& g);
+
+}  // namespace fs::eval

@@ -1,5 +1,6 @@
 #include "ml/split.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fs::ml {
@@ -17,8 +18,15 @@ SplitIndices stratified_split(const std::vector<int>& labels,
 
   SplitIndices out;
   auto divide = [&](std::vector<std::size_t>& pool) {
-    const auto cut = static_cast<std::size_t>(
+    // Clamp the cut so any pool of >= 2 keeps at least one member on each
+    // side — a class silently absent from train or test breaks downstream
+    // stratification (tiny odd pools used to lose a whole class).
+    auto cut = static_cast<std::size_t>(
         train_fraction * static_cast<double>(pool.size()));
+    if (pool.size() >= 2)
+      cut = std::clamp<std::size_t>(cut, 1, pool.size() - 1);
+    else
+      cut = std::min<std::size_t>(cut, pool.size());
     out.train.insert(out.train.end(), pool.begin(), pool.begin() + cut);
     out.test.insert(out.test.end(), pool.begin() + cut, pool.end());
   };

@@ -117,6 +117,52 @@ TEST(Pairs, SplitPreservesAllPairs) {
   for (const auto& p : split.test_pairs) EXPECT_EQ(train.count(p), 0u);
 }
 
+TEST(Pairs, SplitStratificationHoldsOnOddPools) {
+  // Hand-built label sets with odd-sized positive pools: the per-class cut
+  // must keep at least one member of every class on each side — tiny pools
+  // used to lose a whole class to one split.
+  for (const std::size_t positives : {3u, 5u, 7u, 9u, 11u}) {
+    LabeledPairs all;
+    const std::size_t negatives = positives + 1;  // odd + even mix
+    for (std::size_t i = 0; i < positives + negatives; ++i) {
+      all.pairs.push_back({static_cast<data::UserId>(i),
+                           static_cast<data::UserId>(i + 100)});
+      all.labels.push_back(i < positives ? 1 : 0);
+    }
+    const PairSplit split = split_pairs(all, 0.7, 11);
+    const auto count_ones = [](const std::vector<int>& labels) {
+      return static_cast<std::size_t>(
+          std::count(labels.begin(), labels.end(), 1));
+    };
+    const std::size_t train_pos = count_ones(split.train_labels);
+    const std::size_t test_pos = count_ones(split.test_labels);
+    EXPECT_EQ(train_pos + test_pos, positives);
+    // Every class present on both sides.
+    EXPECT_GE(train_pos, 1u) << positives << " positives";
+    EXPECT_GE(test_pos, 1u) << positives << " positives";
+    EXPECT_GE(split.train_labels.size() - train_pos, 1u);
+    EXPECT_GE(split.test_labels.size() - test_pos, 1u);
+    // The train share of each class is within one element of 70 %.
+    const double expected_pos = 0.7 * static_cast<double>(positives);
+    EXPECT_LE(std::abs(static_cast<double>(train_pos) - expected_pos), 1.0)
+        << positives << " positives";
+  }
+}
+
+TEST(Pairs, SplitIsDeterministicAcrossIdenticalSeeds) {
+  const auto world = data::generate_world(tiny_world());
+  const LabeledPairs all = sample_candidate_pairs(world.dataset);
+  const PairSplit a = split_pairs(all, 0.7, 9);
+  const PairSplit b = split_pairs(all, 0.7, 9);
+  EXPECT_EQ(a.train_pairs, b.train_pairs);
+  EXPECT_EQ(a.train_labels, b.train_labels);
+  EXPECT_EQ(a.test_pairs, b.test_pairs);
+  EXPECT_EQ(a.test_labels, b.test_labels);
+  // A different seed actually reshuffles (not a constant function).
+  const PairSplit c = split_pairs(all, 0.7, 10);
+  EXPECT_NE(a.train_pairs, c.train_pairs);
+}
+
 // ---------- harness ----------
 
 TEST(Harness, MakeExperimentFromPreset) {

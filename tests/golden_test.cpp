@@ -1,0 +1,127 @@
+// Golden regression: the tiny preset's end-to-end result is pinned in
+// tests/golden/tiny.json (digests + quality). Any drift — an accidental
+// behavior change, a non-determinism regression, a quality cliff — fails
+// with a field-by-field diff.
+//
+// Bit-exact digests are only comparable on the toolchain that produced the
+// golden file (FP contraction and libm differences legitimately change
+// low-order bits), so the digest comparison is gated on a toolchain
+// fingerprint; quality metrics are compared everywhere, with a loose
+// tolerance on foreign toolchains.
+//
+// To re-pin after an intentional change: tools/update_golden.sh
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/digest.h"
+#include "eval/harness.h"
+#include "eval/presets.h"
+#include "obs/json.h"
+
+#ifndef FS_GOLDEN_DIR
+#error "FS_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace fs {
+namespace {
+
+namespace json = obs::json;
+
+std::string golden_path() { return std::string(FS_GOLDEN_DIR) + "/tiny.json"; }
+
+/// Compiler + C library fingerprint: digests are only bit-comparable
+/// between builds that agree on it.
+std::string toolchain_fingerprint() {
+  std::ostringstream oss;
+  oss << __VERSION__;
+#ifdef __GLIBC__
+  oss << " glibc-" << __GLIBC__ << "." << __GLIBC_MINOR__;
+#endif
+  return oss.str();
+}
+
+struct GoldenRun {
+  std::string result_digest;
+  std::string final_graph_digest;
+  ml::Prf quality;
+};
+
+GoldenRun run_tiny_preset() {
+  const eval::BenchPreset preset = eval::bench_preset("tiny");
+  const eval::Experiment experiment = eval::make_experiment(preset.world);
+  eval::FriendSeekerAttack attack(preset.seeker);
+  GoldenRun run;
+  run.quality = eval::run_attack(attack, experiment);
+  run.result_digest = eval::result_digest(attack.last_result());
+  run.final_graph_digest =
+      eval::graph_digest(attack.last_result().final_graph);
+  return run;
+}
+
+TEST(Golden, TinyPresetMatchesPinnedResult) {
+  const GoldenRun run = run_tiny_preset();
+
+  if (std::getenv("FS_UPDATE_GOLDEN") != nullptr) {
+    json::Object root;
+    root["preset"] = "tiny";
+    root["toolchain"] = toolchain_fingerprint();
+    root["result_digest"] = run.result_digest;
+    root["final_graph_digest"] = run.final_graph_digest;
+    json::Object quality;
+    quality["precision"] = run.quality.precision;
+    quality["recall"] = run.quality.recall;
+    quality["f1"] = run.quality.f1;
+    root["quality"] = quality;
+    json::write_file(golden_path(), json::Value(root));
+    GTEST_LOG_(INFO) << "updated " << golden_path();
+    return;
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — run tools/update_golden.sh";
+  std::ostringstream text;
+  text << in.rdbuf();
+  const json::Value golden = json::parse(text.str());
+
+  const std::string drift_hint =
+      "\n  If this change is intentional, re-pin with tools/update_golden.sh"
+      "\n  and commit the tests/golden/ diff alongside the change.";
+
+  const bool same_toolchain =
+      golden.at("toolchain").as_string() == toolchain_fingerprint();
+  if (same_toolchain) {
+    EXPECT_EQ(golden.at("result_digest").as_string(), run.result_digest)
+        << "tiny-preset result digest drifted (predictions, scores, or "
+           "final graph changed)."
+        << drift_hint;
+    EXPECT_EQ(golden.at("final_graph_digest").as_string(),
+              run.final_graph_digest)
+        << "tiny-preset final-graph digest drifted." << drift_hint;
+  } else {
+    GTEST_LOG_(INFO) << "toolchain differs from golden ("
+                     << golden.at("toolchain").as_string() << " vs "
+                     << toolchain_fingerprint()
+                     << "); skipping bit-exact digest comparison";
+  }
+
+  // Quality is comparable everywhere; allow FP slack only across
+  // toolchains.
+  const double tolerance = same_toolchain ? 1e-12 : 0.05;
+  const json::Value& quality = golden.at("quality");
+  EXPECT_NEAR(quality.at("precision").as_number(), run.quality.precision,
+              tolerance)
+      << "precision drifted from the pinned tiny-preset value." << drift_hint;
+  EXPECT_NEAR(quality.at("recall").as_number(), run.quality.recall,
+              tolerance)
+      << "recall drifted from the pinned tiny-preset value." << drift_hint;
+  EXPECT_NEAR(quality.at("f1").as_number(), run.quality.f1, tolerance)
+      << "f1 drifted from the pinned tiny-preset value." << drift_hint;
+}
+
+}  // namespace
+}  // namespace fs

@@ -3,9 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
 
+#include "block/candidate_gen.h"
+#include "block/cell_index.h"
+#include "block/feature_cache.h"
 #include "core/joc.h"
+#include "core/pipeline.h"
+#include "eval/digest.h"
+#include "eval/harness.h"
+#include "eval/presets.h"
+#include "par/pool.h"
 #include "data/obfuscation.h"
 #include "data/synthetic.h"
 #include "geo/quadtree.h"
@@ -208,6 +217,141 @@ TEST_P(SvmCSweep, TrainsAcrossBoxConstraints) {
 
 INSTANTIATE_TEST_SUITE_P(Cs, SvmCSweep,
                          ::testing::Values(0.1, 0.5, 1.0, 5.0, 20.0));
+
+// ---------- candidate blocking properties ----------
+
+// Superset property: the generated candidate set must contain every pair
+// with at least one shared (cell, slot +/- tolerance) occurrence — blocking
+// may keep extra pairs (hop expansion) but may never drop a co-occurring
+// one. Checked across randomized worlds, divisions, and tolerances.
+TEST(BlockingProperties, CandidatesAreSupersetOfCooccurringPairs) {
+  for (const std::uint64_t seed : {3u, 9u, 27u}) {
+    data::SyntheticWorldConfig cfg;
+    cfg.user_count = 50 + 10 * (seed % 3);
+    cfg.poi_count = 150;
+    cfg.city_count = 3;
+    cfg.weeks = 4;
+    cfg.seed = seed;
+    const auto world = data::generate_world(cfg);
+    const geo::QuadtreeDivision quadtree(world.dataset.poi_coordinates(),
+                                         20 + 10 * (seed % 2));
+    const geo::QuadtreeDivisionView view(quadtree);
+    const geo::TimeSlotting slots(world.dataset.window_begin(),
+                                  world.dataset.window_end(),
+                                  7 * geo::kSecondsPerDay);
+    const block::CellIndex index(world.dataset, view, slots);
+    for (const int tolerance : {0, 1, 2}) {
+      block::BlockingConfig blocking;
+      blocking.slot_tolerance = tolerance;
+      blocking.hop_expansion = static_cast<int>(seed % 3);
+      const std::vector<data::UserPair> candidates =
+          block::generate_candidate_pairs(index, blocking);
+      EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+
+      std::vector<data::UserPair> universe;
+      const auto n = static_cast<data::UserId>(world.dataset.user_count());
+      for (data::UserId a = 0; a < n; ++a)
+        for (data::UserId b = a + 1; b < n; ++b)
+          universe.push_back({a, b});
+      const graph::Graph strong = block::strong_cooccurrence_graph(index);
+      const std::vector<char> keep =
+          block::filter_universe(index, strong, universe, blocking);
+
+      for (std::size_t i = 0; i < universe.size(); ++i) {
+        const auto [a, b] = universe[i];
+        if (!index.cooccur(a, b, tolerance)) continue;
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       universe[i]))
+            << "co-occurring pair (" << a << ", " << b
+            << ") missing from candidates (seed " << seed << ", tol "
+            << tolerance << ")";
+        EXPECT_TRUE(keep[i]) << "co-occurring pair (" << a << ", " << b
+                             << ") filtered out";
+      }
+      // And generation agrees with filtering: every generated candidate
+      // inside the dense universe passes the filter.
+      for (const data::UserPair& pair : candidates) {
+        const std::size_t row =
+            static_cast<std::size_t>(pair.first) * (2 * n - pair.first - 1) /
+                2 +
+            (pair.second - pair.first - 1);
+        ASSERT_LT(row, universe.size());
+        ASSERT_EQ(universe[row], pair);
+        EXPECT_TRUE(keep[row]);
+      }
+    }
+  }
+}
+
+// Cached features must be byte-identical to fresh builds: the same run
+// executed with a cold external cache at 1 thread and at 4 threads must
+// leave bit-equal JOC and presence rows behind (and bit-equal outputs),
+// and the rows must match an independently built JOC.
+TEST(BlockingProperties, CachedRowsAreByteIdenticalAcrossThreadCounts) {
+  const eval::BenchPreset preset = eval::bench_preset("tiny");
+  const eval::Experiment experiment = eval::make_experiment(preset.world);
+
+  auto run_cached = [&](block::FeatureCache& cache, std::size_t threads) {
+    par::set_threads(threads);
+    core::FriendSeekerConfig cfg = preset.seeker;
+    cfg.feature_cache = &cache;
+    core::FriendSeeker seeker(cfg);
+    return seeker.run(experiment.dataset, experiment.split.train_pairs,
+                      experiment.split.train_labels,
+                      experiment.split.test_pairs);
+  };
+  block::FeatureCache cache1, cache4;
+  const core::FriendSeekerResult r1 = run_cached(cache1, 1);
+  const core::FriendSeekerResult r4 = run_cached(cache4, 4);
+  par::set_threads(1);
+
+  EXPECT_EQ(eval::result_digest(r1), eval::result_digest(r4));
+  ASSERT_EQ(cache1.signature(), cache4.signature());
+  ASSERT_GT(cache1.stats().joc_rows, 0u);
+
+  // Independent JOC ground truth, built with the pipeline's division
+  // parameters but none of its code path.
+  const geo::QuadtreeDivision quadtree(experiment.dataset.poi_coordinates(),
+                                       preset.seeker.sigma);
+  const geo::QuadtreeDivisionView view(quadtree);
+  const geo::TimeSlotting slots(
+      experiment.dataset.window_begin(), experiment.dataset.window_end(),
+      static_cast<geo::Timestamp>(preset.seeker.tau_days *
+                                  geo::kSecondsPerDay));
+  const core::OccupancyIndex occupancy(experiment.dataset, view, slots);
+  ASSERT_EQ(occupancy.joc_dim(), cache1.joc_width());
+  std::vector<double> fresh(occupancy.joc_dim());
+
+  std::vector<data::UserPair> pairs = experiment.split.train_pairs;
+  pairs.insert(pairs.end(), experiment.split.test_pairs.begin(),
+               experiment.split.test_pairs.end());
+  std::size_t compared = 0;
+  for (const data::UserPair& raw : pairs) {
+    const data::UserPair pair =
+        data::make_pair_ordered(raw.first, raw.second);
+    const double* a = cache1.find_joc(pair);
+    const double* b = cache4.find_joc(pair);
+    ASSERT_EQ(a == nullptr, b == nullptr);
+    if (a != nullptr) {
+      EXPECT_EQ(std::memcmp(a, b, cache1.joc_width() * sizeof(double)), 0)
+          << "JOC row differs across thread counts";
+      core::build_joc(occupancy, pair.first, pair.second, fresh.data());
+      EXPECT_EQ(std::memcmp(a, fresh.data(),
+                            cache1.joc_width() * sizeof(double)),
+                0)
+          << "cached JOC row differs from a fresh build";
+      ++compared;
+    }
+    const double* pa = cache1.find_presence(pair);
+    const double* pb = cache4.find_presence(pair);
+    ASSERT_EQ(pa == nullptr, pb == nullptr);
+    if (pa != nullptr)
+      EXPECT_EQ(
+          std::memcmp(pa, pb, cache1.presence_width() * sizeof(double)), 0)
+          << "presence row differs across thread counts";
+  }
+  EXPECT_GT(compared, 0u);
+}
 
 // ---------- graph metric properties ----------
 

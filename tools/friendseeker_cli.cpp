@@ -3,6 +3,8 @@
 //   friendseeker generate  --preset gowalla --out DIR [--users N ...]
 //   friendseeker stats     CHECKINS EDGES
 //   friendseeker attack    CHECKINS EDGES [--sigma S --tau D --dim D --k K]
+//                          [--blocking on|off|auto --block-hops H
+//                           --block-slot-tolerance T]
 //                          [--permissive] [--checkpoint-dir DIR [--resume]]
 //                          [--deadline-sec S --max-memory-mb M
 //                           --max-iterations N]
@@ -23,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "block/candidate_gen.h"
 #include "data/defense.h"
 #include "data/loader.h"
 #include "data/obfuscation.h"
@@ -167,6 +170,15 @@ int cmd_attack(int argc, char** argv) {
   args.add_option("dim", "64", "presence feature dimension d");
   args.add_option("k", "3", "k-hop subgraph depth");
   args.add_option("iterations", "6", "max refinement iterations");
+  args.add_option("blocking", "auto",
+                  "candidate blocking: on | off | auto (auto prunes only "
+                  "when the pair universe is large); pruned pairs are "
+                  "predicted non-friend without scoring");
+  args.add_option("block-hops", "2",
+                  "keep pairs within this many hops of the strong "
+                  "co-occurrence graph even without direct co-occurrence");
+  args.add_option("block-slot-tolerance", "1",
+                  "time-slot tolerance for cell co-occurrence blocking");
   args.add_option("max-iterations", "0",
                   "alias for --iterations (overrides it when > 0)");
   args.add_option("deadline-sec", "0",
@@ -257,6 +269,18 @@ int cmd_attack(int argc, char** argv) {
   cfg.max_iterations = args.get_int("max-iterations") > 0
                            ? static_cast<int>(args.get_int("max-iterations"))
                            : static_cast<int>(args.get_int("iterations"));
+  const std::string blocking = args.get("blocking");
+  if (blocking == "on")
+    cfg.blocking.mode = block::BlockingMode::kOn;
+  else if (blocking == "off")
+    cfg.blocking.mode = block::BlockingMode::kOff;
+  else if (blocking == "auto")
+    cfg.blocking.mode = block::BlockingMode::kAuto;
+  else
+    throw std::invalid_argument("--blocking must be on, off, or auto");
+  cfg.blocking.hop_expansion = static_cast<int>(args.get_int("block-hops"));
+  cfg.blocking.slot_tolerance =
+      static_cast<int>(args.get_int("block-slot-tolerance"));
   cfg.checkpoint_dir = args.get("checkpoint-dir");
   cfg.resume = args.get_flag("resume");
   cfg.context = &context;
@@ -288,6 +312,24 @@ int cmd_attack(int argc, char** argv) {
                  static_cast<double>(
                      seeker.last_result().peak_memory_estimate) /
                      (1024.0 * 1024.0));
+  if (seeker.last_result().blocking_active) {
+    const auto& bs = seeker.last_result().blocking;
+    std::fprintf(stderr,
+                 "blocking: scored %zu of %zu pairs (%zu pruned, %zu kept "
+                 "via hop expansion, %zu forced train pairs)\n",
+                 bs.scored_pairs, bs.universe_pairs, bs.pruned_pairs,
+                 bs.hop_candidates, bs.forced_pairs);
+  }
+  {
+    const auto& cs = seeker.last_result().cache;
+    std::fprintf(stderr,
+                 "feature cache: %.1f%% hit rate (%llu hits / %llu misses), "
+                 "%.1f MB cached\n",
+                 cs.hit_rate() * 100.0,
+                 static_cast<unsigned long long>(cs.hits()),
+                 static_cast<unsigned long long>(cs.misses()),
+                 static_cast<double>(cs.bytes) / (1024.0 * 1024.0));
+  }
 
   // Telemetry files are written on every exit path, interrupted included —
   // a cancelled run's partial telemetry is exactly when you want it.

@@ -7,12 +7,20 @@
 //   perf_bench [--preset tiny|gowalla|brightkite] [--out BENCH_pipeline.json]
 //              [--metrics-out M.json] [--trace-out T.json] [--seed N]
 //              [--threads N] [--scaling 1,2,4,8]
+//              [--blocking on|off|auto] [--universe sampled|full]
 //   perf_bench --validate FILE    # schema-check an existing BENCH file
 //
 // --scaling re-runs the same attack once per listed thread count and emits
 // a "scaling" section: wall time, speedup vs the first entry, and a digest
 // of the run's outputs, so CI asserts byte-identity across thread counts in
 // the same pass that tracks the speedup curve.
+//
+// --universe full extends the sampled test set with EVERY remaining user
+// pair, the population an attacker actually faces; quality is still scored
+// on the balanced subset (the extras have no labels to grade against).
+// This is the regime candidate blocking exists for — the "blocking"
+// section then shows the scored-universe shrinkage, and the "cache"
+// section the phase-2 feature-cache hit rate.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -22,7 +30,9 @@
 #include <thread>
 #include <vector>
 
+#include "eval/digest.h"
 #include "eval/harness.h"
+#include "eval/presets.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -36,79 +46,43 @@ namespace {
 using namespace fs;
 namespace json = obs::json;
 
-constexpr double kSchemaVersion = 2.0;
+constexpr double kSchemaVersion = 3.0;
 
-/// World + seeker scaling per preset. "tiny" is sized for CI smoke runs
-/// (seconds); the named presets match the bench suite's sweep scale.
-struct Preset {
-  data::SyntheticWorldConfig world;
-  core::FriendSeekerConfig seeker;
-};
-
-Preset make_preset(const std::string& name) {
-  Preset p;
-  p.seeker = eval::default_seeker_config();
-  if (name == "tiny") {
-    p.world = data::gowalla_like();
-    p.world.user_count = 72;
-    p.world.poi_count = 200;
-    p.world.weeks = 4;
-    p.seeker.sigma = 40;
-    p.seeker.presence.feature_dim = 32;
-    p.seeker.presence.epochs = 6;
-    p.seeker.presence.max_autoencoder_rows = 300;
-    p.seeker.max_iterations = 3;
-    p.seeker.max_svm_train_rows = 600;
-    return p;
-  }
-  if (name == "gowalla" || name == "brightkite") {
-    p.world = name == "gowalla" ? data::gowalla_like()
-                                : data::brightkite_like();
-    p.world.user_count = 320;
-    p.world.poi_count = 900;
-    p.world.weeks = 10;
-    p.seeker.sigma = 120;
-    p.seeker.presence.feature_dim = 48;
-    p.seeker.presence.epochs = 10;
-    p.seeker.presence.max_autoencoder_rows = 450;
-    p.seeker.max_iterations = 5;
-    p.seeker.max_svm_train_rows = 1200;
-    return p;
-  }
-  throw std::invalid_argument("unknown preset '" + name +
-                              "' (tiny | gowalla | brightkite)");
+/// Runs the attack and grades the balanced test subset. Under --universe
+/// full the test list carries unlabeled extension pairs after the labeled
+/// prefix; they are predicted (that is the point) but not graded.
+ml::Prf run_graded(eval::FriendSeekerAttack& attack,
+                   const eval::Experiment& experiment) {
+  obs::Span timer("eval.attack.run");
+  const std::vector<int> predictions = attack.infer(
+      experiment.dataset, experiment.split.train_pairs,
+      experiment.split.train_labels, experiment.split.test_pairs);
+  const std::vector<int> graded(
+      predictions.begin(),
+      predictions.begin() +
+          static_cast<std::ptrdiff_t>(experiment.split.test_labels.size()));
+  return ml::prf(experiment.split.test_labels, graded);
 }
 
-/// FNV-1a over everything an attack run computes: per-pair predictions,
-/// score bit patterns, and the final graph's adjacency. Two runs are
-/// byte-identical iff their digests match.
-std::string result_digest(const core::FriendSeekerResult& result) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      h ^= (v >> shift) & 0xffULL;
-      h *= 0x100000001b3ULL;
+/// Appends every user pair absent from the sampled split to the test list:
+/// the full O(n^2) candidate universe an unconstrained attacker scores.
+void extend_to_full_universe(eval::Experiment& experiment) {
+  std::vector<data::UserPair> known;
+  known.reserve(experiment.split.train_pairs.size() +
+                experiment.split.test_pairs.size());
+  for (const auto& p : experiment.split.train_pairs)
+    known.push_back(data::make_pair_ordered(p.first, p.second));
+  for (const auto& p : experiment.split.test_pairs)
+    known.push_back(data::make_pair_ordered(p.first, p.second));
+  std::sort(known.begin(), known.end());
+  const auto n =
+      static_cast<data::UserId>(experiment.dataset.user_count());
+  for (data::UserId a = 0; a < n; ++a)
+    for (data::UserId b = a + 1; b < n; ++b) {
+      const data::UserPair pair{a, b};
+      if (!std::binary_search(known.begin(), known.end(), pair))
+        experiment.split.test_pairs.push_back(pair);
     }
-  };
-  for (int p : result.test_predictions)
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)));
-  for (double s : result.test_scores) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &s, sizeof(bits));
-    mix(bits);
-  }
-  const graph::Graph& g = result.final_graph;
-  mix(g.node_count());
-  for (graph::NodeId v = 0; v < g.node_count(); ++v)
-    for (graph::NodeId w : g.neighbors(v))
-      if (v < w) {
-        mix(v);
-        mix(w);
-      }
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
 }
 
 std::vector<std::size_t> parse_scaling(const std::string& spec) {
@@ -130,7 +104,7 @@ std::vector<std::size_t> parse_scaling(const std::string& spec) {
 void validate_bench(const json::Value& root) {
   if (!root.is_object()) throw ParseError("root is not an object");
   if (root.at("schema_version").as_number() != kSchemaVersion)
-    throw ParseError("schema_version != 2");
+    throw ParseError("schema_version != 3");
   root.at("preset").as_string();
   root.at("seed").as_number();
   if (root.at("threads").as_number() < 1.0)
@@ -138,6 +112,37 @@ void validate_bench(const json::Value& root) {
   if (root.at("host_hardware_threads").as_number() < 1.0)
     throw ParseError("host_hardware_threads < 1");
   root.at("result_digest").as_string();
+  root.at("final_graph_digest").as_string();
+  const std::string universe = root.at("universe").as_string();
+  if (universe != "sampled" && universe != "full")
+    throw ParseError("universe must be 'sampled' or 'full'");
+
+  const json::Value& blocking = root.at("blocking");
+  const std::string mode = blocking.at("mode").as_string();
+  if (mode != "on" && mode != "off" && mode != "auto")
+    throw ParseError("blocking.mode must be on, off, or auto");
+  blocking.at("active").as_bool();
+  const double universe_pairs = blocking.at("universe_pairs").as_number();
+  const double scored_pairs = blocking.at("scored_pairs").as_number();
+  const double pruned_pairs = blocking.at("pruned_pairs").as_number();
+  if (universe_pairs < 0.0 || scored_pairs < 0.0 || pruned_pairs < 0.0)
+    throw ParseError("blocking pair counts must be non-negative");
+  if (scored_pairs + pruned_pairs != universe_pairs)
+    throw ParseError("blocking: scored + pruned != universe");
+  if (blocking.at("prune_ratio").as_number() < 1.0)
+    throw ParseError("blocking.prune_ratio < 1");
+  if (blocking.at("forced_train_pairs").as_number() < 0.0)
+    throw ParseError("blocking.forced_train_pairs is negative");
+
+  const json::Value& cache = root.at("cache");
+  for (const char* key : {"hits", "misses", "bytes"})
+    if (cache.at(key).as_number() < 0.0)
+      throw ParseError(std::string("cache.") + key + " is negative");
+  for (const char* key : {"hit_rate", "phase2_hit_rate"}) {
+    const double v = cache.at(key).as_number();
+    if (v < 0.0 || v > 1.0)
+      throw ParseError(std::string("cache.") + key + " outside [0, 1]");
+  }
 
   const json::Value& quality = root.at("quality");
   for (const char* key : {"f1", "precision", "recall"}) {
@@ -209,20 +214,20 @@ struct RunOutcome {
   std::size_t peak = 0;
 };
 
-RunOutcome run_attack_once(const Preset& preset,
+RunOutcome run_attack_once(const eval::BenchPreset& preset,
                            const eval::Experiment& experiment,
                            std::size_t threads) {
   par::set_threads(threads);
-  Preset run = preset;
+  eval::BenchPreset run = preset;
   runtime::ExecutionContext context;
   run.seeker.context = &context;
   obs::Span span("perf_bench.run");
   eval::FriendSeekerAttack attack(run.seeker);
   RunOutcome outcome;
-  outcome.prf = eval::run_attack(attack, experiment);
+  outcome.prf = run_graded(attack, experiment);
   span.end();
   outcome.wall_ms = span.milliseconds();
-  outcome.digest = result_digest(attack.last_result());
+  outcome.digest = eval::result_digest(attack.last_result());
   outcome.peak = context.peak_charged();
   return outcome;
 }
@@ -232,23 +237,37 @@ int run_bench(const util::ArgParser& args) {
   obs::tracer().enable();
 
   const std::string preset_name = args.get("preset");
-  Preset preset = make_preset(preset_name);
+  eval::BenchPreset preset = eval::bench_preset(preset_name);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   preset.world.seed += seed;
   preset.seeker.seed += seed;
   par::set_threads(static_cast<std::size_t>(args.get_int("threads")));
   const std::size_t main_threads = par::threads();
 
+  const std::string blocking_arg = args.get("blocking");
+  if (blocking_arg == "on")
+    preset.seeker.blocking.mode = block::BlockingMode::kOn;
+  else if (blocking_arg == "off")
+    preset.seeker.blocking.mode = block::BlockingMode::kOff;
+  else if (blocking_arg == "auto")
+    preset.seeker.blocking.mode = block::BlockingMode::kAuto;
+  else
+    throw std::invalid_argument("--blocking must be on, off, or auto");
+  const std::string universe_arg = args.get("universe");
+  if (universe_arg != "sampled" && universe_arg != "full")
+    throw std::invalid_argument("--universe must be sampled or full");
+
   runtime::ExecutionContext context;
   preset.seeker.context = &context;
 
   obs::Span total_span("perf_bench.total");
-  const eval::Experiment experiment =
+  eval::Experiment experiment =
       eval::make_experiment(preset.world, {}, 0.7, 7 + seed);
+  if (universe_arg == "full") extend_to_full_universe(experiment);
   eval::FriendSeekerAttack attack(preset.seeker);
-  const ml::Prf prf = eval::run_attack(attack, experiment);
+  const ml::Prf prf = run_graded(attack, experiment);
   total_span.end();
-  const std::string main_digest = result_digest(attack.last_result());
+  const std::string main_digest = eval::result_digest(attack.last_result());
 
   // Per-stage rollup from the spans the pipeline recorded.
   json::Array stages;
@@ -276,6 +295,28 @@ int run_bench(const util::ArgParser& args) {
   totals["wall_ms"] = total_span.milliseconds();
   totals["cpu_ms"] = total_cpu_ms;
 
+  const core::FriendSeekerResult& last = attack.last_result();
+  json::Object blocking;
+  blocking["mode"] = blocking_arg;
+  blocking["active"] = last.blocking_active;
+  blocking["universe_pairs"] = last.blocking.universe_pairs;
+  blocking["scored_pairs"] = last.blocking.scored_pairs;
+  blocking["pruned_pairs"] = last.blocking.pruned_pairs;
+  blocking["forced_train_pairs"] = last.blocking.forced_pairs;
+  blocking["hop_candidates"] = last.blocking.hop_candidates;
+  blocking["prune_ratio"] =
+      last.blocking.scored_pairs > 0
+          ? static_cast<double>(last.blocking.universe_pairs) /
+                static_cast<double>(last.blocking.scored_pairs)
+          : 1.0;
+
+  json::Object cache;
+  cache["hits"] = last.cache.hits();
+  cache["misses"] = last.cache.misses();
+  cache["hit_rate"] = last.cache.hit_rate();
+  cache["phase2_hit_rate"] = last.phase2_cache_hit_rate;
+  cache["bytes"] = last.cache.bytes;
+
   json::Object root;
   root["schema_version"] = kSchemaVersion;
   root["preset"] = preset_name;
@@ -285,6 +326,10 @@ int run_bench(const util::ArgParser& args) {
   root["host_hardware_threads"] =
       std::max(1u, std::thread::hardware_concurrency());
   root["result_digest"] = main_digest;
+  root["final_graph_digest"] = eval::graph_digest(last.final_graph);
+  root["universe"] = universe_arg;
+  root["blocking"] = std::move(blocking);
+  root["cache"] = std::move(cache);
   root["quality"] = std::move(quality);
   root["stages"] = std::move(stages);
   root["totals"] = std::move(totals);
@@ -353,6 +398,12 @@ int main(int argc, char** argv) {
                   "comma-separated thread counts (e.g. 1,2,4,8): re-run per "
                   "count and emit the scaling section with byte-identity "
                   "digests");
+  args.add_option("blocking", "auto",
+                  "candidate blocking for the measured run: on | off | auto");
+  args.add_option("universe", "sampled",
+                  "pair universe: sampled (balanced eval protocol) | full "
+                  "(every user pair; quality still graded on the balanced "
+                  "subset)");
   args.add_option("validate", "",
                   "schema-check FILE instead of running the benchmark");
   args.add_flag("help", "show options");

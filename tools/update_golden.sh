@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Re-pins the committed golden results (tests/golden/*.json) from the
+# current build. Run after an intentional behavior change, then commit the
+# tests/golden/ diff together with the change that caused it.
+#
+#   tools/update_golden.sh [build-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+binary="${build_dir}/tests/golden_test"
+
+if [[ ! -x "${binary}" ]]; then
+  echo "update_golden: ${binary} not built (cmake --build ${build_dir} --target golden_test)" >&2
+  exit 1
+fi
+
+FS_UPDATE_GOLDEN=1 "${binary}"
+echo "update_golden: re-pinned, review with: git diff tests/golden/"
