@@ -24,6 +24,15 @@
 // a function of — the CellIndex content hash covers (dataset, division,
 // tau); callers fold in model configuration and training-set identity.
 //
+// Streaming adds a finer grain: a delta of events touches a handful of
+// users, and a JOC row is a pure function of its pair's own occupancy — so
+// invalidate_joc_touching() evicts exactly the rows of touched users
+// (freed slots are reused), presence rows (functions of the globally
+// retrained model) drop wholesale via invalidate_presence_all(), and
+// carry_joc_across_next_prepare() lets the next prepare() adopt the new
+// signature while keeping the surviving JOC rows instead of nuking the
+// cache because one event arrived.
+//
 // Concurrency contract: find_* are safe from parallel regions (lookups are
 // const; hit/miss counters are relaxed atomics). insert_* and prepare()
 // are single-threaded — the pipeline computes the miss list sequentially,
@@ -93,6 +102,24 @@ class FeatureCache {
     return presence_.insert(pair);
   }
 
+  /// Evicts every cached JOC row whose pair contains any of `users`,
+  /// returning the number of rows dropped. Freed slots go on a free list
+  /// and are reused by later inserts, so repeated deltas do not grow the
+  /// arena. Single-threaded, like insert_*.
+  std::size_t invalidate_joc_touching(const std::vector<data::UserId>& users);
+
+  /// Evicts every presence row (a retrained presence model invalidates all
+  /// of them at once); arena blocks and their charges are kept for reuse.
+  std::size_t invalidate_presence_all();
+
+  /// One-shot escape hatch from whole-signature invalidation: the NEXT
+  /// prepare() may adopt a *different* signature while keeping surviving
+  /// JOC rows (the JOC width must still match; presence drops as usual).
+  /// The caller owns the proof obligation that every stale row was already
+  /// evicted via invalidate_joc_touching() — e.g. the stream daemon, which
+  /// knows exactly which users an event delta touched.
+  void carry_joc_across_next_prepare() { carry_joc_once_ = true; }
+
   /// Arena bytes currently held (blocks, not map overhead).
   std::size_t bytes() const { return joc_.bytes() + presence_.bytes(); }
 
@@ -119,6 +146,7 @@ class FeatureCache {
     std::size_t rows = 0;
     std::vector<std::unique_ptr<double[]>> blocks;
     std::vector<runtime::MemoryCharge> charges;
+    std::vector<std::uint32_t> free_slots;  // erased row indices, reusable
     std::unordered_map<data::UserPair, std::uint32_t, PairHash> of_pair;
     runtime::ExecutionContext* context = nullptr;
     const char* charge_label = "block.cache";
@@ -128,6 +156,11 @@ class FeatureCache {
     void reset(std::size_t new_width);
     const double* find(const data::UserPair& pair) const;
     double* insert(const data::UserPair& pair);
+    /// Drops the pair's row (slot goes on the free list). False if absent.
+    bool erase(const data::UserPair& pair);
+    /// Drops every row, keeping blocks and charges for reuse.
+    std::size_t clear_rows();
+    std::size_t live_rows() const { return rows - free_slots.size(); }
     const double* row(std::uint32_t index) const;
     std::size_t bytes() const {
       return blocks.size() * rows_per_block * width * sizeof(double);
@@ -136,6 +169,7 @@ class FeatureCache {
 
   std::uint64_t signature_ = 0;
   bool bound_ = false;
+  bool carry_joc_once_ = false;
   RowStore joc_;
   RowStore presence_;
 };

@@ -312,8 +312,28 @@ Dataset load_checkins_snap(const std::string& checkins_path,
   }
 
   obs::Span edges_span("data.load.edges");
-  std::ifstream edge_file = open_or_throw(edges_path, options);
   graph::Graph g(user_map.size());
+  for (const auto& [raw_a, raw_b] : read_edges_file(edges_path, options, &rep)) {
+    const auto a = user_map.find(raw_a);
+    const auto b = user_map.find(raw_b);
+    if (a == user_map.end() || b == user_map.end()) continue;
+    if (a->second != b->second && g.add_edge(a->second, b->second))
+      ++rep.accepted_edges;
+  }
+  edges_span.end();
+
+  publish_load_metrics(rep, load_span.seconds());
+  return Dataset::build(user_map.size(), std::move(pois), std::move(checkins),
+                        std::move(g));
+}
+
+std::vector<std::pair<long long, long long>> read_edges_file(
+    const std::string& edges_path, const LoadOptions& options,
+    LoadReport* report) {
+  LoadReport local_report;
+  LoadReport& rep = report != nullptr ? *report : local_report;
+  std::vector<std::pair<long long, long long>> edges;
+  std::ifstream edge_file = open_or_throw(edges_path, options);
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(edge_file, line)) {
@@ -347,15 +367,67 @@ Dataset load_checkins_snap(const std::string& checkins_path,
         rep.sample_bad_lines.push_back(line);
       continue;
     }
+    edges.emplace_back(raw_a, raw_b);
+  }
+  return edges;
+}
+
+Dataset assemble_from_records(
+    const std::vector<RawRecord>& records,
+    const std::vector<std::pair<long long, long long>>& raw_edges,
+    const LoadOptions& options, LoadReport* report,
+    std::vector<long long>* user_ids_out) {
+  LoadReport local_report;
+  LoadReport& rep = report != nullptr ? *report : local_report;
+
+  // Mirror of the file loader's pass 1: per-user valid-record counts.
+  std::unordered_map<long long, std::size_t> user_checkin_count;
+  for (const RawRecord& r : records) ++user_checkin_count[r.user];
+
+  // Activity floor + cap + ascending-raw-id densification, identical to
+  // load_checkins_snap (a std::map keeps the deterministic order).
+  std::map<long long, UserId> user_map;
+  for (const auto& [user, count] : user_checkin_count) {
+    if (count >= static_cast<std::size_t>(options.min_checkins))
+      user_map.emplace(user, 0);
+    else
+      ++rep.users_below_activity_floor;
+  }
+  if (options.max_users != 0 && user_map.size() > options.max_users) {
+    auto it = user_map.begin();
+    std::advance(it, static_cast<long>(options.max_users));
+    rep.users_dropped_by_cap = user_map.size() - options.max_users;
+    user_map.erase(it, user_map.end());
+  }
+  UserId next_user = 0;
+  for (auto& [user, dense] : user_map) dense = next_user++;
+  if (user_ids_out != nullptr) {
+    user_ids_out->clear();
+    for (const auto& [user, dense] : user_map) user_ids_out->push_back(user);
+  }
+
+  // Mirror of pass 2: POIs interned on first use by a kept record.
+  std::map<long long, PoiId> poi_map;
+  std::vector<Poi> pois;
+  std::vector<CheckIn> checkins;
+  for (const RawRecord& r : records) {
+    const auto uit = user_map.find(r.user);
+    if (uit == user_map.end()) continue;
+    auto [pit, inserted] =
+        poi_map.emplace(r.poi, static_cast<PoiId>(pois.size()));
+    if (inserted) pois.push_back(Poi{r.location, 0});
+    checkins.push_back(CheckIn{uit->second, pit->second, r.time, r.location});
+    ++rep.accepted_checkins;
+  }
+
+  graph::Graph g(user_map.size());
+  for (const auto& [raw_a, raw_b] : raw_edges) {
     const auto a = user_map.find(raw_a);
     const auto b = user_map.find(raw_b);
     if (a == user_map.end() || b == user_map.end()) continue;
     if (a->second != b->second && g.add_edge(a->second, b->second))
       ++rep.accepted_edges;
   }
-  edges_span.end();
-
-  publish_load_metrics(rep, load_span.seconds());
   return Dataset::build(user_map.size(), std::move(pois), std::move(checkins),
                         std::move(g));
 }

@@ -92,6 +92,39 @@ struct LoadReport {
 /// trailing whitespace are allowed). Throws fs::ParseError on bad input.
 geo::Timestamp parse_iso8601_utc(const std::string& text);
 
+/// One validated check-in record before user/POI densification — what a
+/// parsed SNAP line carries. The streaming ingestion path accumulates these
+/// and assembles datasets incrementally; the file loader produces them
+/// line by line.
+struct RawRecord {
+  long long user = 0;
+  geo::Timestamp time = 0;
+  geo::LatLng location;
+  long long poi = 0;
+};
+
+/// Assembles a Dataset from already-validated records and raw-id edges with
+/// the *exact* selection semantics of load_checkins_snap: the min_checkins
+/// activity floor, the max_users cap, user densification ascending by
+/// original id, POIs interned in record order among kept records, and
+/// edges mapped through the surviving users. Kept in lockstep with the
+/// file loader by a differential test so the streaming path can never fork
+/// from batch loading. Only the activity-filter counters of `report` are
+/// filled (records here are already validated).
+Dataset assemble_from_records(
+    const std::vector<RawRecord>& records,
+    const std::vector<std::pair<long long, long long>>& raw_edges,
+    const LoadOptions& options = {}, LoadReport* report = nullptr,
+    std::vector<long long>* user_ids_out = nullptr);
+
+/// Reads a SNAP edges file into raw-id pairs, honouring the options'
+/// strict/permissive semantics (quarantined lines land in `report` when
+/// permissive) and the open-retry policy. Shared by the file loader and
+/// the streaming service.
+std::vector<std::pair<long long, long long>> read_edges_file(
+    const std::string& edges_path, const LoadOptions& options = {},
+    LoadReport* report = nullptr);
+
 /// Loads a SNAP-format dataset from a check-ins file and an edges file.
 /// Missing/unreadable files throw fs::IoError in both modes. If `report`
 /// is non-null it is reset and filled with the load census.

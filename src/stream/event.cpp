@@ -1,0 +1,55 @@
+#include "stream/event.h"
+
+#include "util/strings.h"
+
+namespace fs::stream {
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kShortLine: return "short_line";
+    case RejectReason::kBadTimestamp: return "bad_timestamp";
+    case RejectReason::kBadNumber: return "bad_number";
+    case RejectReason::kOutOfRangeCoord: return "out_of_range";
+    case RejectReason::kDuplicateEventId: return "duplicate_event_id";
+    case RejectReason::kStaleTimestamp: return "stale_timestamp";
+  }
+  return "unknown";
+}
+
+ErrorCode reject_error_code(RejectReason reason) {
+  (void)reason;
+  return ErrorCode::kParse;
+}
+
+std::optional<RejectReason> parse_event_line(std::string_view line,
+                                             RawEvent& out) {
+  const auto trimmed = util::trim(line);
+  const auto fields = util::split_whitespace(trimmed);
+  if (fields.size() < 5) return RejectReason::kShortLine;
+  out.line.assign(trimmed);
+  out.has_explicit_id = false;
+  out.event_id = 0;
+  try {
+    out.user = util::parse_int(fields[0]);
+    out.location.lat = util::parse_double(fields[2]);
+    out.location.lng = util::parse_double(fields[3]);
+    out.poi = util::parse_int(fields[4]);
+    if (fields.size() >= 6) {
+      out.event_id = static_cast<std::uint64_t>(util::parse_int(fields[5]));
+      out.has_explicit_id = true;
+    }
+  } catch (const std::invalid_argument&) {
+    return RejectReason::kBadNumber;
+  }
+  try {
+    out.time = data::parse_iso8601_utc(std::string(fields[1]));
+  } catch (const ParseError&) {
+    return RejectReason::kBadTimestamp;
+  }
+  if (out.location.lat < -90.0 || out.location.lat > 90.0 ||
+      out.location.lng < -180.0 || out.location.lng > 180.0)
+    return RejectReason::kOutOfRangeCoord;
+  return std::nullopt;
+}
+
+}  // namespace fs::stream

@@ -1,0 +1,70 @@
+// Wire-level event model for streaming check-in ingestion.
+//
+// A stream event is one SNAP-format check-in line, optionally extended with
+// a sixth column carrying an explicit event id (sources that can redeliver
+// — message queues, at-least-once relays — stamp one so the engine can
+// deduplicate; plain file tails usually do not):
+//
+//   <user-ID> \t <ISO-8601 time> \t <lat> \t <lng> \t <location-ID> [\t <event-id>]
+//
+// Validation applies the batch loader's exact per-record semantics (the
+// same ISO-8601 calendar validation and coordinate ranges), so an event the
+// stream accepts is an event the batch pipeline would have loaded. Events
+// that fail land in the poison quarantine with a structured RejectReason
+// instead of poisoning the index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/loader.h"
+#include "geo/latlng.h"
+#include "geo/time_slots.h"
+#include "util/error.h"
+
+namespace fs::stream {
+
+/// One validated (or about-to-be-validated) stream event. `line` keeps the
+/// wire bytes verbatim: the journal persists them, and dataset assembly
+/// re-parses nothing.
+struct RawEvent {
+  std::uint64_t seq = 0;       // acceptance order, assigned by the daemon
+  std::uint64_t event_id = 0;  // explicit wire id (valid when has_explicit_id)
+  bool has_explicit_id = false;
+  long long user = 0;
+  geo::Timestamp time = 0;
+  geo::LatLng location;
+  long long poi = 0;
+  std::string line;
+};
+
+/// Why an event was quarantined instead of applied. The first four mirror
+/// the batch loader's quarantine taxonomy; the last two are stream-only
+/// (they need ingestion state a batch load does not have).
+enum class RejectReason {
+  kShortLine,        // fewer than 5 fields
+  kBadTimestamp,     // unparseable or impossible calendar date
+  kBadNumber,        // unparseable user/poi id or coordinate
+  kOutOfRangeCoord,  // |lat| > 90 or |lng| > 180
+  kDuplicateEventId, // explicit event id already accepted
+  kStaleTimestamp,   // older than the watermark minus the lateness budget
+};
+
+inline constexpr std::size_t kRejectReasonCount = 6;
+
+const char* reject_reason_name(RejectReason reason);
+
+/// The fs::Error code a quarantined event maps to: every reject is a
+/// kParse-class input defect (the record is unusable as data), which keeps
+/// quarantine diagnostics on the same taxonomy the batch loader reports.
+ErrorCode reject_error_code(RejectReason reason);
+
+/// Parses and validates one wire line into `out` (seq is left untouched).
+/// Returns std::nullopt on success, the reject reason otherwise. Blank
+/// lines are the caller's to skip — they are not events.
+std::optional<RejectReason> parse_event_line(std::string_view line,
+                                             RawEvent& out);
+
+}  // namespace fs::stream

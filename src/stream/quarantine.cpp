@@ -1,0 +1,48 @@
+#include "stream/quarantine.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace fs::stream {
+
+void PoisonQuarantine::add(std::uint64_t source_index, RejectReason reason,
+                           std::string_view line) {
+  ++total_;
+  ++counts_[static_cast<std::size_t>(reason)];
+  if (samples_.size() < max_samples_)
+    samples_.push_back(Record{source_index, reason, std::string(line)});
+  if (obs::metrics_enabled())
+    obs::metrics()
+        .counter("stream.quarantined_total",
+                 {{"reason", reject_reason_name(reason)}},
+                 "stream events routed to the poison quarantine, by reason")
+        .add(1);
+  if (diagnostics_ != nullptr)
+    diagnostics_->report(util::Severity::kWarning, reject_error_code(reason),
+                         "stream",
+                         std::string("quarantined (") +
+                             reject_reason_name(reason) + ") line " +
+                             std::to_string(source_index) + ": '" +
+                             std::string(line) + "'");
+}
+
+std::string PoisonQuarantine::summary() const {
+  std::ostringstream oss;
+  oss << "quarantined " << total_;
+  if (total_ > 0) {
+    oss << " (";
+    bool first = true;
+    for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+      if (counts_[i] == 0) continue;
+      if (!first) oss << ", ";
+      first = false;
+      oss << reject_reason_name(static_cast<RejectReason>(i)) << " "
+          << counts_[i];
+    }
+    oss << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace fs::stream

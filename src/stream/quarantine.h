@@ -1,0 +1,67 @@
+// Poison quarantine: the terminal station for events the stream refuses.
+//
+// Every rejected event is counted by structured reason, a bounded sample of
+// verbatim lines is retained for operator triage, and each reject is
+// mirrored into the metrics registry (stream.quarantined_total{reason=...})
+// and, optionally, a Diagnostics sink. Quarantine is observability, not a
+// retry queue: a quarantined event never touches the index, and the
+// journal's quarantine frames make the census survive a crash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/event.h"
+#include "util/error.h"
+
+namespace fs::stream {
+
+class PoisonQuarantine {
+ public:
+  struct Record {
+    std::uint64_t source_index = 0;  // consumed-line ordinal when rejected
+    RejectReason reason = RejectReason::kShortLine;
+    std::string line;
+  };
+
+  explicit PoisonQuarantine(std::size_t max_samples = 32,
+                            util::Diagnostics* diagnostics = nullptr)
+      : max_samples_(max_samples), diagnostics_(diagnostics) {}
+
+  /// Counts the reject, keeps a sample (up to max_samples), bumps the
+  /// per-reason metric, and reports a warning diagnostic when a sink is
+  /// attached.
+  void add(std::uint64_t source_index, RejectReason reason,
+           std::string_view line);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(RejectReason reason) const {
+    return counts_[static_cast<std::size_t>(reason)];
+  }
+  const std::vector<Record>& samples() const { return samples_; }
+  const std::array<std::uint64_t, kRejectReasonCount>& counts() const {
+    return counts_;
+  }
+
+  /// Restores a census recovered from a snapshot (replaces counts; sample
+  /// lines are not persisted and restart empty).
+  void restore(const std::array<std::uint64_t, kRejectReasonCount>& counts) {
+    counts_ = counts;
+    total_ = 0;
+    for (const auto count : counts_) total_ += count;
+  }
+
+  /// One line per nonzero reason, e.g. "quarantined 3 (bad_timestamp 2, ...)".
+  std::string summary() const;
+
+ private:
+  std::size_t max_samples_;
+  util::Diagnostics* diagnostics_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kRejectReasonCount> counts_{};
+  std::vector<Record> samples_;
+};
+
+}  // namespace fs::stream

@@ -1,0 +1,76 @@
+// Bounded staging ring between the event source and the validator.
+//
+// The ring is the backpressure boundary: a source is only polled into the
+// free space the ring has (kBlock) or overflow is shed with accounting
+// (kShed), so a slow tick propagates pressure upstream instead of growing
+// an unbounded queue. Policy lives in the daemon; the ring itself is a
+// plain single-threaded circular buffer — the daemon loop is the only
+// producer and consumer.
+//
+// Lines carry their consumed-line ordinal through the ring: ordinals are
+// assigned at poll time, and under kShed the journaled ordinals are not
+// contiguous (sheds jump ahead of ring-resident lines), so each line must
+// remember its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fs::stream {
+
+/// How the daemon reacts when the ring has no free space for polled input.
+enum class Backpressure {
+  kBlock,  // stop polling the source until the ring drains (lossless)
+  kShed,   // drop the overflow, journaling every shed line
+};
+
+const char* backpressure_name(Backpressure policy);
+
+/// A wire line stamped with its consumed-line ordinal.
+struct StampedLine {
+  std::uint64_t ordinal = 0;
+  std::string line;
+};
+
+/// Fixed-capacity circular buffer of stamped lines.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t free_space() const { return capacity() - size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity(); }
+
+  /// False (and no mutation) when full.
+  bool push(StampedLine item) {
+    if (full()) return false;
+    slots_[(head_ + size_) % capacity()] = std::move(item);
+    ++size_;
+    return true;
+  }
+
+  /// Pops the oldest line; ring must be non-empty.
+  StampedLine pop() {
+    StampedLine item = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity();
+    --size_;
+    return item;
+  }
+
+ private:
+  std::vector<StampedLine> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+inline const char* backpressure_name(Backpressure policy) {
+  return policy == Backpressure::kBlock ? "block" : "shed";
+}
+
+}  // namespace fs::stream

@@ -1,0 +1,113 @@
+#include "stream/source.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace fs::stream {
+namespace {
+
+namespace fp = util::failpoint;
+
+/// Opens `path` for reading, backing off through the RetryPolicy on real or
+/// injected (stream.source.open_fail) failures. Throws IoError only once
+/// the attempt budget is exhausted.
+std::ifstream open_with_retry(const std::string& path,
+                              const SourceOptions& options,
+                              std::uint64_t& open_failures) {
+  runtime::Retrier retrier(options.open_retry);
+  while (true) {
+    if (!fp::fail("stream.source.open_fail")) {
+      std::ifstream in(path, std::ios::binary);
+      if (in) return in;
+    }
+    ++open_failures;
+    if (!retrier.retry())
+      throw IoError("cannot open stream source after " +
+                    std::to_string(retrier.failures()) +
+                    " attempts: " + path);
+  }
+}
+
+bool is_blank(const std::string& line) {
+  return util::trim(line).empty();
+}
+
+}  // namespace
+
+FileTailSource::FileTailSource(std::string path, SourceOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+std::size_t FileTailSource::poll(std::size_t max_lines,
+                                 std::vector<std::string>& out) {
+  auto in = open_with_retry(path_, options_, open_failures_);
+  in.seekg(static_cast<std::streamoff>(offset_));
+  if (in) {
+    std::ostringstream chunk;
+    chunk << in.rdbuf();
+    std::string content = std::move(chunk).str();
+    offset_ += content.size();
+    pending_ += content;
+  }
+  // Cut complete lines off the pending buffer; a trailing fragment without
+  // its newline stays pending (torn-line handling).
+  std::size_t start = 0;
+  while (true) {
+    const auto nl = pending_.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = pending_.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
+    if (is_blank(line)) continue;
+    if (skip_remaining_ > 0) {
+      --skip_remaining_;
+      continue;
+    }
+    ready_.push_back(std::move(line));
+  }
+  pending_.erase(0, start);
+
+  std::size_t emitted = 0;
+  while (emitted < max_lines && !ready_.empty()) {
+    out.push_back(std::move(ready_.front()));
+    ready_.pop_front();
+    ++emitted;
+  }
+  return emitted;
+}
+
+ReplaySource::ReplaySource(std::string path, SourceOptions options)
+    : path_(std::move(path)), options_(options) {}
+
+void ReplaySource::ensure_loaded() {
+  if (loaded_) return;
+  auto in = open_with_retry(path_, options_, open_failures_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (is_blank(line)) continue;
+    lines_.push_back(line);
+  }
+  loaded_ = true;
+}
+
+std::size_t ReplaySource::poll(std::size_t max_lines,
+                               std::vector<std::string>& out) {
+  ensure_loaded();
+  while (skip_remaining_ > 0 && next_ < lines_.size()) {
+    --skip_remaining_;
+    ++next_;
+  }
+  std::size_t emitted = 0;
+  while (emitted < max_lines && next_ < lines_.size()) {
+    out.push_back(lines_[next_]);
+    ++next_;
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace fs::stream

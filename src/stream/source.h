@@ -1,0 +1,100 @@
+// Pluggable event sources feeding the stream daemon.
+//
+// A source hands the daemon raw wire lines; the daemon owns validation,
+// journaling, and application. Two implementations:
+//
+//   * FileTailSource — follows a growing file by byte offset, emitting only
+//     *complete* lines: a torn tail (a line whose newline has not landed
+//     yet) stays buffered until the writer finishes it, so a half-written
+//     record is never parsed, quarantined, or journaled.
+//   * ReplaySource — replays a SNAP check-in file in file order (NOT
+//     time-sorted: the batch loader interns POIs in record order, and
+//     convergence-to-batch requires the stream to see the same order). The
+//     event rate comes from the daemon's per-tick poll budget.
+//
+// Both filter blank lines before they count: consumed-line ordinals (the
+// resume watermark) enumerate non-blank lines only, so skip_lines(n) after
+// recovery lands on exactly the first unconsumed record. Opens go through
+// the stream.source.open_fail failpoint under a RetryPolicy, so transient
+// open failures back off and retry instead of killing the daemon.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/runtime.h"
+
+namespace fs::stream {
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Appends up to `max_lines` complete non-blank lines to `out`; returns
+  /// how many were appended. May legitimately return 0 (nothing new yet).
+  virtual std::size_t poll(std::size_t max_lines,
+                           std::vector<std::string>& out) = 0;
+
+  /// True when the source can never produce another line (replay reached
+  /// end of file). A tail is never exhausted — the file may still grow.
+  virtual bool exhausted() const = 0;
+
+  /// Skips the next `n` non-blank lines (resume: n = consumed-line count
+  /// recovered from snapshot + journal).
+  virtual void skip_lines(std::uint64_t n) = 0;
+};
+
+struct SourceOptions {
+  runtime::RetryPolicy open_retry;
+};
+
+/// Follows a file by byte offset, complete lines only.
+class FileTailSource : public EventSource {
+ public:
+  explicit FileTailSource(std::string path, SourceOptions options = {});
+
+  std::size_t poll(std::size_t max_lines,
+                   std::vector<std::string>& out) override;
+  bool exhausted() const override { return false; }
+  void skip_lines(std::uint64_t n) override { skip_remaining_ += n; }
+
+  std::uint64_t byte_offset() const { return offset_; }
+  std::uint64_t open_failures() const { return open_failures_; }
+
+ private:
+  std::string path_;
+  SourceOptions options_;
+  std::uint64_t offset_ = 0;    // bytes consumed from the file
+  std::string pending_;         // bytes after the last newline seen
+  std::deque<std::string> ready_;  // complete non-blank lines not yet polled
+  std::uint64_t skip_remaining_ = 0;
+  std::uint64_t open_failures_ = 0;
+};
+
+/// Replays a SNAP check-in file in file order.
+class ReplaySource : public EventSource {
+ public:
+  explicit ReplaySource(std::string path, SourceOptions options = {});
+
+  std::size_t poll(std::size_t max_lines,
+                   std::vector<std::string>& out) override;
+  bool exhausted() const override { return loaded_ && next_ >= lines_.size(); }
+  void skip_lines(std::uint64_t n) override { skip_remaining_ += n; }
+
+  std::uint64_t open_failures() const { return open_failures_; }
+
+ private:
+  void ensure_loaded();
+
+  std::string path_;
+  SourceOptions options_;
+  bool loaded_ = false;
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;
+  std::uint64_t skip_remaining_ = 0;
+  std::uint64_t open_failures_ = 0;
+};
+
+}  // namespace fs::stream

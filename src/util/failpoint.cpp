@@ -1,5 +1,6 @@
 #include "util/failpoint.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
@@ -111,29 +112,49 @@ std::uint64_t triggers(const std::string& name) {
 }
 
 const std::vector<KnownFailpoint>& known_failpoints() {
-  static const std::vector<KnownFailpoint> table = {
-      {"checkpoint.load.truncate", "truncate",
-       "drop the tail of a checkpoint read (torn write / short read); the "
-       "loader must reject it as CorruptCheckpoint"},
-      {"checkpoint.save.io", "error",
-       "fail a checkpoint save before anything is written; the run "
-       "continues, losing only resumability"},
-      {"checkpoint.save.rename", "error",
-       "fail the temp-file rename after the payload was written; the saver "
-       "must clean up the stray .tmp file"},
-      {"data.load.open", "error",
-       "fail opening the check-in/edge file; retried under the loader's "
-       "RetryPolicy before surfacing IoError"},
-      {"ml.svm.nan", "nan",
-       "poison the SVM's input features with a non-finite value; fit() "
-       "throws NumericError and phase 2 keeps its last-good graph"},
-      {"nn.train.nan", "nan",
-       "poison one autoencoder batch loss; training reinitializes with a "
-       "backed-off learning rate under its RetryPolicy"},
-      {"pipeline.iteration.abort", "error",
-       "simulate a process kill at a phase-2 iteration boundary (after the "
-       "checkpoint save); throws InjectedKill, resumable via --resume"},
-  };
+  // Sorted by name at first use rather than by hand: entries are added in
+  // PR-sized batches and a hand-maintained order drifts, which makes
+  // --list-failpoints (and the chaos schedules diffed against it)
+  // nondeterministic relative to the sources.
+  static const std::vector<KnownFailpoint> table = [] {
+    std::vector<KnownFailpoint> entries = {
+        {"checkpoint.load.truncate", "truncate",
+         "drop the tail of a checkpoint read (torn write / short read); the "
+         "loader must reject it as CorruptCheckpoint"},
+        {"checkpoint.save.io", "error",
+         "fail a checkpoint save before anything is written; the run "
+         "continues, losing only resumability"},
+        {"checkpoint.save.rename", "error",
+         "fail the temp-file rename after the payload was written; the saver "
+         "must clean up the stray .tmp file"},
+        {"data.load.open", "error",
+         "fail opening the check-in/edge file; retried under the loader's "
+         "RetryPolicy before surfacing IoError"},
+        {"ml.svm.nan", "nan",
+         "poison the SVM's input features with a non-finite value; fit() "
+         "throws NumericError and phase 2 keeps its last-good graph"},
+        {"nn.train.nan", "nan",
+         "poison one autoencoder batch loss; training reinitializes with a "
+         "backed-off learning rate under its RetryPolicy"},
+        {"pipeline.iteration.abort", "error",
+         "simulate a process kill at a phase-2 iteration boundary (after the "
+         "checkpoint save); throws InjectedKill, resumable via --resume"},
+        {"stream.journal.torn_write", "truncate",
+         "cut a stream journal frame short mid-write (crash during append); "
+         "the writer throws IoError and recovery truncates the torn tail"},
+        {"stream.source.open_fail", "error",
+         "fail opening the stream source file; retried with backoff under "
+         "the source's RetryPolicy before surfacing IoError"},
+        {"stream.tick.abort", "error",
+         "simulate a process kill at a serve-tick boundary (after the "
+         "journal flush); throws InjectedKill, resumable via the journal"},
+    };
+    std::sort(entries.begin(), entries.end(),
+              [](const KnownFailpoint& a, const KnownFailpoint& b) {
+                return std::string_view(a.name) < std::string_view(b.name);
+              });
+    return entries;
+  }();
   return table;
 }
 

@@ -1,0 +1,617 @@
+// Streaming ingestion tests: wire-line validation and poison quarantine,
+// the backpressure ring, CRC-framed journal + snapshot durability with
+// kill-at-any-point recovery, engine convergence-to-batch, the stream
+// failpoint registry, and the FeatureCache delta-invalidation grain the
+// serve finalize path relies on.
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "block/feature_cache.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "stream/daemon.h"
+#include "stream/engine.h"
+#include "stream/event.h"
+#include "stream/journal.h"
+#include "stream/quarantine.h"
+#include "stream/ring.h"
+#include "stream/source.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace {
+
+using namespace fs;
+namespace fp = util::failpoint;
+
+std::string temp_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "fs_stream_test" /
+                   name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+stream::RawEvent must_parse(const std::string& line) {
+  stream::RawEvent event;
+  const auto reason = stream::parse_event_line(line, event);
+  EXPECT_FALSE(reason.has_value())
+      << "unexpected reject: " << stream::reject_reason_name(*reason);
+  return event;
+}
+
+// ---------- per-event validation (the quarantine taxonomy) ----------
+
+TEST(EventParse, AcceptsBatchFormatLine) {
+  const auto event = must_parse("42\t2010-10-19T23:55:27Z\t30.25\t-97.75\t88");
+  EXPECT_EQ(event.user, 42);
+  EXPECT_EQ(event.poi, 88);
+  EXPECT_FALSE(event.has_explicit_id);
+  EXPECT_NEAR(event.location.lat, 30.25, 1e-12);
+  EXPECT_NEAR(event.location.lng, -97.75, 1e-12);
+}
+
+TEST(EventParse, AcceptsExplicitEventIdColumn) {
+  const auto event =
+      must_parse("42\t2010-10-19T23:55:27Z\t30.25\t-97.75\t88\t7001");
+  EXPECT_TRUE(event.has_explicit_id);
+  EXPECT_EQ(event.event_id, 7001u);
+}
+
+TEST(EventParse, RejectsEveryPoisonShape) {
+  stream::RawEvent event;
+  const auto reject = [&](const std::string& line) {
+    const auto reason = stream::parse_event_line(line, event);
+    EXPECT_TRUE(reason.has_value()) << "accepted poison line: " << line;
+    return reason.value_or(stream::RejectReason::kShortLine);
+  };
+  EXPECT_EQ(reject("42\t2010-10-19T23:55:27Z\t30.25"),
+            stream::RejectReason::kShortLine);
+  EXPECT_EQ(reject("42\tnot-a-time\t30.25\t-97.75\t88"),
+            stream::RejectReason::kBadTimestamp);
+  // Impossible calendar date, not just bad syntax.
+  EXPECT_EQ(reject("42\t2010-02-30T10:00:00Z\t30.25\t-97.75\t88"),
+            stream::RejectReason::kBadTimestamp);
+  EXPECT_EQ(reject("42\t2010-10-19T23:55:27Z\t95.0\t-97.75\t88"),
+            stream::RejectReason::kOutOfRangeCoord);
+  EXPECT_EQ(reject("42\t2010-10-19T23:55:27Z\t30.25\t181.0\t88"),
+            stream::RejectReason::kOutOfRangeCoord);
+  EXPECT_EQ(reject("42\t2010-10-19T23:55:27Z\t30.25\t-97.75\tpoi"),
+            stream::RejectReason::kBadNumber);
+  EXPECT_EQ(reject("user\t2010-10-19T23:55:27Z\t30.25\t-97.75\t88"),
+            stream::RejectReason::kBadNumber);
+}
+
+TEST(EventParse, EveryRejectReasonMapsToParseError) {
+  for (std::size_t i = 0; i < stream::kRejectReasonCount; ++i) {
+    const auto reason = static_cast<stream::RejectReason>(i);
+    EXPECT_EQ(stream::reject_error_code(reason), ErrorCode::kParse)
+        << stream::reject_reason_name(reason);
+    EXPECT_NE(stream::reject_reason_name(reason), nullptr);
+  }
+}
+
+// A rejected event must never mutate engine state — digest-pinned.
+TEST(EventParse, RejectedEventsNeverMutateEngineState) {
+  stream::StreamEngine engine{stream::EngineConfig{}};
+  ASSERT_FALSE(engine
+                   .ingest(must_parse(
+                       "1\t2010-10-19T10:00:00Z\t30.25\t-97.75\t5\t100"))
+                   .has_value());
+  ASSERT_FALSE(engine
+                   .ingest(must_parse(
+                       "2\t2010-10-19T10:30:00Z\t30.25\t-97.75\t5\t101"))
+                   .has_value());
+  const std::uint64_t digest = engine.state_digest();
+
+  // Malformed lines never even reach ingest (parse rejects them)...
+  stream::RawEvent scratch;
+  EXPECT_TRUE(stream::parse_event_line("1\tbad-time\t30.25\t-97.75\t5",
+                                       scratch)
+                  .has_value());
+  // ...and ingestion-state rejects (duplicate explicit id) mutate nothing.
+  const auto dup =
+      engine.ingest(must_parse("3\t2010-10-19T11:00:00Z\t30.25\t-97.75\t5\t100"));
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(*dup, stream::RejectReason::kDuplicateEventId);
+  EXPECT_EQ(engine.state_digest(), digest);
+  EXPECT_EQ(engine.accepted_count(), 2u);
+}
+
+TEST(Engine, LatenessBudgetQuarantinesStaleEvents) {
+  stream::EngineConfig cfg;
+  cfg.lateness_budget_sec = 3600;
+  stream::StreamEngine engine{cfg};
+  ASSERT_FALSE(
+      engine.ingest(must_parse("1\t2010-10-19T12:00:00Z\t30.0\t-97.0\t5"))
+          .has_value());
+  const std::uint64_t digest = engine.state_digest();
+  const auto stale =
+      engine.ingest(must_parse("2\t2010-10-19T09:00:00Z\t30.0\t-97.0\t5"));
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(*stale, stream::RejectReason::kStaleTimestamp);
+  EXPECT_EQ(engine.state_digest(), digest);
+}
+
+// ---------- quarantine census ----------
+
+TEST(Quarantine, CountsReasonsAndBoundsSamples) {
+  stream::PoisonQuarantine quarantine(2);
+  quarantine.add(0, stream::RejectReason::kBadTimestamp, "a");
+  quarantine.add(1, stream::RejectReason::kBadTimestamp, "b");
+  quarantine.add(2, stream::RejectReason::kShortLine, "c");
+  EXPECT_EQ(quarantine.total(), 3u);
+  EXPECT_EQ(quarantine.count(stream::RejectReason::kBadTimestamp), 2u);
+  EXPECT_EQ(quarantine.samples().size(), 2u);  // bounded
+  EXPECT_NE(quarantine.summary().find("bad_timestamp"), std::string::npos);
+
+  stream::PoisonQuarantine restored(2);
+  restored.restore(quarantine.counts());
+  EXPECT_EQ(restored.total(), 3u);
+  EXPECT_EQ(restored.count(stream::RejectReason::kShortLine), 1u);
+  EXPECT_TRUE(restored.samples().empty());  // samples are not durable
+}
+
+// ---------- backpressure ring ----------
+
+TEST(Ring, FifoWithBoundedCapacity) {
+  stream::EventRing ring(3);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.free_space(), 3u);
+  EXPECT_TRUE(ring.push({0, "a"}));
+  EXPECT_TRUE(ring.push({1, "b"}));
+  EXPECT_TRUE(ring.push({2, "c"}));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push({3, "d"}));  // full: caller blocks or sheds
+
+  const auto first = ring.pop();
+  EXPECT_EQ(first.ordinal, 0u);
+  EXPECT_EQ(first.line, "a");
+  EXPECT_TRUE(ring.push({3, "d"}));  // slot freed, wraps around
+  EXPECT_EQ(ring.pop().line, "b");
+  EXPECT_EQ(ring.pop().line, "c");
+  EXPECT_EQ(ring.pop().ordinal, 3u);
+  EXPECT_TRUE(ring.empty());
+}
+
+// ---------- journal durability ----------
+
+TEST(Journal, RoundTripsEveryDisposition) {
+  const std::string dir = temp_dir("journal_roundtrip");
+  const std::string path = dir + "/journal.fsj";
+  {
+    stream::JournalWriter writer(path);
+    auto event = must_parse("1\t2010-10-19T10:00:00Z\t30.25\t-97.75\t5\t42");
+    event.seq = 0;
+    writer.append_accepted(0, event);
+    writer.append_quarantined(1, stream::RejectReason::kBadTimestamp,
+                              "1\tbad\t0\t0\t0");
+    writer.append_shed(2, "1\t2010-10-19T10:01:00Z\t30.0\t-97.0\t6");
+  }
+  const auto recovered = stream::recover_journal(path);
+  EXPECT_FALSE(recovered.missing);
+  EXPECT_FALSE(recovered.truncated_tail);
+  ASSERT_EQ(recovered.records.size(), 3u);
+  EXPECT_EQ(recovered.records[0].type, stream::FrameType::kAccepted);
+  EXPECT_EQ(recovered.records[0].source_index, 0u);
+  EXPECT_EQ(recovered.records[0].event.user, 1);
+  EXPECT_TRUE(recovered.records[0].event.has_explicit_id);
+  EXPECT_EQ(recovered.records[0].event.event_id, 42u);
+  EXPECT_EQ(recovered.records[1].type, stream::FrameType::kQuarantined);
+  EXPECT_EQ(recovered.records[1].reason,
+            stream::RejectReason::kBadTimestamp);
+  EXPECT_EQ(recovered.records[1].line, "1\tbad\t0\t0\t0");
+  EXPECT_EQ(recovered.records[2].type, stream::FrameType::kShed);
+  EXPECT_EQ(recovered.records[2].source_index, 2u);
+}
+
+TEST(Journal, TornTailIsDetectedAndTruncatable) {
+  const std::string dir = temp_dir("journal_torn");
+  const std::string path = dir + "/journal.fsj";
+  {
+    stream::JournalWriter writer(path);
+    writer.append_quarantined(0, stream::RejectReason::kShortLine, "x");
+    writer.append_quarantined(1, stream::RejectReason::kShortLine, "y");
+  }
+  // Tear the last frame mid-payload, like a crash mid-write.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 3);
+
+  auto recovered = stream::recover_journal(path);
+  EXPECT_TRUE(recovered.truncated_tail);
+  ASSERT_EQ(recovered.records.size(), 1u);
+  EXPECT_EQ(recovered.records[0].line, "x");
+
+  stream::truncate_journal(path, recovered.valid_bytes);
+  {
+    stream::JournalWriter writer(path);  // appends after the valid prefix
+    writer.append_quarantined(1, stream::RejectReason::kShortLine, "y2");
+  }
+  recovered = stream::recover_journal(path);
+  EXPECT_FALSE(recovered.truncated_tail);
+  ASSERT_EQ(recovered.records.size(), 2u);
+  EXPECT_EQ(recovered.records[1].line, "y2");
+}
+
+TEST(Journal, TornWriteFailpointThrowsAndLeavesRecoverablePrefix) {
+  const std::string dir = temp_dir("journal_failpoint");
+  const std::string path = dir + "/journal.fsj";
+  fp::clear();
+  fp::Config cfg;
+  cfg.action = fp::Action::kTruncate;
+  cfg.skip = 1;
+  cfg.limit = 1;
+  fp::activate("stream.journal.torn_write", cfg);
+
+  stream::JournalWriter writer(path);
+  writer.append_quarantined(0, stream::RejectReason::kShortLine, "keep");
+  EXPECT_THROW(
+      writer.append_quarantined(1, stream::RejectReason::kShortLine, "torn"),
+      IoError);
+  fp::clear();
+
+  const auto recovered = stream::recover_journal(path);
+  EXPECT_TRUE(recovered.truncated_tail);
+  ASSERT_EQ(recovered.records.size(), 1u);
+  EXPECT_EQ(recovered.records[0].line, "keep");
+}
+
+TEST(Snapshot, RoundTripsAndRefusesForeignFingerprint) {
+  const std::string dir = temp_dir("snapshot");
+  const std::string path = dir + "/snapshot.fss";
+  stream::Snapshot snapshot;
+  snapshot.config_fingerprint = 0xfeedULL;
+  snapshot.consumed_lines = 17;
+  snapshot.shed_total = 2;
+  snapshot.quarantine_counts[1] = 3;
+  auto event = must_parse("9\t2010-10-19T10:00:00Z\t30.0\t-97.0\t4");
+  event.seq = 0;
+  snapshot.events.push_back(event);
+  stream::save_snapshot(path, snapshot);
+
+  const auto loaded = stream::load_snapshot(path, 0xfeedULL);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->consumed_lines, 17u);
+  EXPECT_EQ(loaded->shed_total, 2u);
+  EXPECT_EQ(loaded->quarantine_counts[1], 3u);
+  ASSERT_EQ(loaded->events.size(), 1u);
+  EXPECT_EQ(loaded->events[0].user, 9);
+  EXPECT_EQ(loaded->events[0].line, event.line);
+
+  // A different engine config must refuse the snapshot...
+  EXPECT_FALSE(stream::load_snapshot(path, 0xbeefULL).has_value());
+  // ...and a corrupt file falls back to journal-only recovery.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 1);
+  EXPECT_FALSE(stream::load_snapshot(path, 0xfeedULL).has_value());
+  EXPECT_FALSE(stream::load_snapshot(dir + "/absent.fss", 1).has_value());
+}
+
+// ---------- sources ----------
+
+TEST(Source, FileTailHoldsBackTornLines) {
+  const std::string dir = temp_dir("tail");
+  const std::string path = dir + "/tail.txt";
+  write_file(path, "line-one\nline-tw");  // second line torn mid-write
+  stream::FileTailSource tail(path);
+  std::vector<std::string> out;
+  EXPECT_EQ(tail.poll(8, out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "line-one");
+
+  std::ofstream(path, std::ios::binary | std::ios::app) << "o\nline-three\n";
+  out.clear();
+  EXPECT_EQ(tail.poll(8, out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "line-two");
+  EXPECT_EQ(out[1], "line-three");
+  EXPECT_FALSE(tail.exhausted());  // a tail never declares the stream done
+}
+
+TEST(Source, OpenFailureIsRetriedThenFatal) {
+  const std::string dir = temp_dir("open_fail");
+  const std::string path = dir + "/replay.txt";
+  write_file(path, "a\nb\n");
+
+  fp::clear();
+  fp::Config cfg;
+  cfg.action = fp::Action::kError;
+  cfg.limit = 1;
+  fp::activate("stream.source.open_fail", cfg);
+  stream::ReplaySource replay(path);
+  std::vector<std::string> out;
+  EXPECT_EQ(replay.poll(8, out), 2u);  // transient failure absorbed
+  EXPECT_EQ(replay.open_failures(), 1u);
+  EXPECT_TRUE(replay.exhausted());
+  fp::clear();
+
+  fp::Config always;
+  always.action = fp::Action::kError;
+  fp::activate("stream.source.open_fail", always);
+  stream::ReplaySource doomed(path);
+  out.clear();
+  EXPECT_THROW(doomed.poll(8, out), IoError);  // retry budget exhausted
+  fp::clear();
+}
+
+// ---------- daemon: kill-at-any-point recovery ----------
+
+struct StreamWorld {
+  std::string dir;
+  std::string checkins_path;
+  std::string edges_path;
+  std::string stream_path;  // checkins + trailing poison block
+};
+
+StreamWorld make_stream_world(const std::string& name) {
+  StreamWorld world;
+  world.dir = temp_dir(name);
+  data::SyntheticWorldConfig cfg;
+  cfg.user_count = 30;
+  cfg.poi_count = 90;
+  cfg.city_count = 2;
+  cfg.weeks = 2;
+  cfg.seed = 5;
+  const auto generated = data::generate_world(cfg);
+  world.checkins_path = world.dir + "/checkins.txt";
+  world.edges_path = world.dir + "/edges.txt";
+  data::save_checkins_snap(generated.dataset, world.checkins_path,
+                           world.edges_path);
+
+  world.stream_path = world.dir + "/stream.txt";
+  std::ifstream in(world.checkins_path, std::ios::binary);
+  std::ofstream out(world.stream_path, std::ios::binary);
+  out << in.rdbuf();
+  out << "7\tmalformed\n";
+  out << "7\t2010-13-40T99:99:99Z\t10.0\t20.0\t3\n";
+  out << "7\t2010-10-19T23:55:27Z\t95.0\t20.0\t3\n";
+  return world;
+}
+
+stream::ServeConfig serve_config(std::string journal_dir) {
+  stream::ServeConfig cfg;
+  cfg.ring_capacity = 32;
+  cfg.events_per_tick = 8;
+  cfg.tick_budget_ms = 0;
+  cfg.snapshot_every = 3;
+  cfg.journal_dir = std::move(journal_dir);
+  return cfg;
+}
+
+TEST(Daemon, KillAndResumeConvergesToUninterruptedDigest) {
+  const StreamWorld world = make_stream_world("daemon_kill");
+  fp::clear();
+
+  // Uninterrupted baseline (no durability needed for it).
+  stream::ServeConfig baseline_cfg = serve_config("");
+  stream::ServeDaemon baseline(
+      baseline_cfg, std::make_unique<stream::ReplaySource>(world.stream_path));
+  const auto baseline_report = baseline.run();
+  ASSERT_TRUE(baseline_report.exhausted);
+  ASSERT_EQ(baseline_report.quarantined, 3u);
+  ASSERT_EQ(baseline_report.shed, 0u);
+  ASSERT_GT(baseline_report.accepted, 0u);
+
+  // Kill mid-stream, twice, resuming from durable state each time with a
+  // brand-new daemon + source.
+  const std::string durable_dir = world.dir + "/journal";
+  std::filesystem::create_directories(durable_dir);
+  fp::Config kill;
+  kill.action = fp::Action::kError;
+  kill.skip = 4;
+  kill.limit = 2;
+  fp::activate("stream.tick.abort", kill);
+
+  int kills = 0;
+  stream::ServeReport report;
+  std::array<std::uint64_t, stream::kRejectReasonCount> counts{};
+  bool used_snapshot = false;
+  while (true) {
+    stream::ServeDaemon daemon(
+        serve_config(durable_dir),
+        std::make_unique<stream::ReplaySource>(world.stream_path));
+    used_snapshot = daemon.recover().snapshot_used || used_snapshot;
+    try {
+      report = daemon.run();
+      counts = daemon.quarantine().counts();
+      break;
+    } catch (const fp::InjectedKill&) {
+      ++kills;
+      ASSERT_LE(kills, 4);
+    }
+  }
+  fp::clear();
+
+  EXPECT_EQ(kills, 2);
+  EXPECT_TRUE(used_snapshot);  // at least one resume came through a snapshot
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.final_digest, baseline_report.final_digest);
+  EXPECT_EQ(report.quarantined, baseline_report.quarantined);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    EXPECT_EQ(counts[i], baseline.quarantine().counts()[i]) << i;
+  EXPECT_EQ(report.shed, 0u);
+}
+
+TEST(Daemon, ShedModeAccountsEveryDroppedLine) {
+  const StreamWorld world = make_stream_world("daemon_shed");
+  fp::clear();
+  stream::ServeConfig cfg = serve_config("");
+  cfg.ring_capacity = 4;
+  cfg.events_per_tick = 2;
+  cfg.backpressure = stream::Backpressure::kShed;
+  // Poll far ahead of what we consume: the overflow must be shed, counted,
+  // and the total disposition census must still cover every source line.
+  cfg.events_per_tick = 2;
+  stream::ServeDaemon daemon(
+      cfg, std::make_unique<stream::ReplaySource>(world.stream_path));
+  const auto report = daemon.run();
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.accepted + report.quarantined + report.shed,
+            report.consumed_lines);
+}
+
+TEST(Daemon, BlockModeNeverSheds) {
+  const StreamWorld world = make_stream_world("daemon_block");
+  fp::clear();
+  stream::ServeConfig cfg = serve_config("");
+  cfg.ring_capacity = 4;
+  cfg.events_per_tick = 8;  // wants more than the ring holds: must block
+  stream::ServeDaemon daemon(
+      cfg, std::make_unique<stream::ReplaySource>(world.stream_path));
+  const auto report = daemon.run();
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.accepted + report.quarantined, report.consumed_lines);
+}
+
+// ---------- convergence to batch ----------
+
+TEST(Convergence, StreamDatasetMatchesBatchLoader) {
+  const StreamWorld world = make_stream_world("convergence");
+  fp::clear();
+  stream::ServeDaemon daemon(
+      serve_config(""),
+      std::make_unique<stream::ReplaySource>(world.stream_path));
+  ASSERT_TRUE(daemon.run().exhausted);
+
+  const auto raw_edges = data::read_edges_file(world.edges_path);
+  std::vector<long long> stream_users;
+  const data::Dataset stream_ds =
+      daemon.engine().to_dataset(raw_edges, {}, nullptr, &stream_users);
+  const data::Dataset batch_ds =
+      data::load_checkins_snap(world.checkins_path, world.edges_path);
+
+  ASSERT_EQ(stream_ds.user_count(), batch_ds.user_count());
+  ASSERT_EQ(stream_ds.poi_count(), batch_ds.poi_count());
+  ASSERT_EQ(stream_ds.checkin_count(), batch_ds.checkin_count());
+  EXPECT_EQ(stream_users.size(), stream_ds.user_count());
+  for (std::size_t i = 0; i < stream_ds.checkin_count(); ++i) {
+    const auto& a = stream_ds.checkins()[i];
+    const auto& b = batch_ds.checkins()[i];
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.poi, b.poi);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.location.lat, b.location.lat);
+    EXPECT_EQ(a.location.lng, b.location.lng);
+  }
+  EXPECT_EQ(stream_ds.friendships().edge_count(),
+            batch_ds.friendships().edge_count());
+}
+
+// The purity argument behind convergence: any tick schedule reaches the
+// same fixed point once the frontier drains, and the digest pins it.
+TEST(Convergence, TickScheduleDoesNotChangeTheFixedPoint) {
+  const StreamWorld world = make_stream_world("schedules");
+  fp::clear();
+
+  stream::ServeConfig coarse = serve_config("");
+  coarse.events_per_tick = 64;
+  stream::ServeDaemon a(
+      coarse, std::make_unique<stream::ReplaySource>(world.stream_path));
+  stream::ServeConfig fine = serve_config("");
+  fine.events_per_tick = 3;
+  fine.ring_capacity = 8;
+  stream::ServeDaemon b(
+      fine, std::make_unique<stream::ReplaySource>(world.stream_path));
+  const auto report_a = a.run();
+  const auto report_b = b.run();
+  ASSERT_TRUE(report_a.exhausted);
+  ASSERT_TRUE(report_b.exhausted);
+  EXPECT_NE(report_a.ticks, report_b.ticks);  // genuinely different schedules
+  EXPECT_EQ(report_a.final_digest, report_b.final_digest);
+}
+
+// ---------- stream failpoints in the registry ----------
+
+TEST(Failpoints, StreamEntriesRegisteredAndListSorted) {
+  const auto& known = fp::known_failpoints();
+  bool torn = false, open_fail = false, abort_fp = false;
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    const std::string_view name = known[i].name;
+    if (i > 0)
+      EXPECT_LT(std::string_view(known[i - 1].name), name);  // sorted, unique
+    if (name == "stream.journal.torn_write") torn = true;
+    if (name == "stream.source.open_fail") open_fail = true;
+    if (name == "stream.tick.abort") abort_fp = true;
+  }
+  EXPECT_TRUE(torn);
+  EXPECT_TRUE(open_fail);
+  EXPECT_TRUE(abort_fp);
+}
+
+// ---------- FeatureCache delta invalidation ----------
+
+TEST(FeatureCacheDelta, EvictsExactlyTouchedUsersAndReusesSlots) {
+  block::FeatureCache cache;
+  cache.prepare(11, 4, 2, nullptr);
+  cache.insert_joc({1, 2})[0] = 12.0;
+  cache.insert_joc({2, 3})[0] = 23.0;
+  cache.insert_joc({3, 4})[0] = 34.0;
+  const std::size_t bytes_before = cache.bytes();
+
+  EXPECT_EQ(cache.invalidate_joc_touching({2}), 2u);  // {1,2} and {2,3}
+  EXPECT_EQ(cache.find_joc({1, 2}), nullptr);
+  EXPECT_EQ(cache.find_joc({2, 3}), nullptr);
+  ASSERT_NE(cache.find_joc({3, 4}), nullptr);
+  EXPECT_EQ(cache.find_joc({3, 4})[0], 34.0);
+  EXPECT_EQ(cache.stats().joc_rows, 1u);
+
+  // Freed slots are reused: re-inserting does not grow the arena.
+  cache.insert_joc({1, 2});
+  cache.insert_joc({2, 3});
+  EXPECT_EQ(cache.bytes(), bytes_before);
+  EXPECT_EQ(cache.stats().joc_rows, 3u);
+  EXPECT_EQ(cache.invalidate_joc_touching({99}), 0u);  // untouched user
+}
+
+TEST(FeatureCacheDelta, PresenceDropsWholesaleJocSurvives) {
+  block::FeatureCache cache;
+  cache.prepare(11, 4, 2, nullptr);
+  cache.insert_joc({1, 2})[0] = 1.0;
+  cache.insert_presence({1, 2})[0] = 2.0;
+  cache.insert_presence({2, 3})[0] = 3.0;
+  EXPECT_EQ(cache.invalidate_presence_all(), 2u);
+  EXPECT_EQ(cache.find_presence({1, 2}), nullptr);
+  EXPECT_EQ(cache.stats().presence_rows, 0u);
+  ASSERT_NE(cache.find_joc({1, 2}), nullptr);  // untouched grain
+}
+
+TEST(FeatureCacheDelta, CarryLetsJocSurviveASignatureChangeOnce) {
+  block::FeatureCache cache;
+  cache.prepare(11, 4, 2, nullptr);
+  cache.insert_joc({1, 2})[0] = 7.0;
+  cache.insert_presence({1, 2})[0] = 8.0;
+
+  cache.carry_joc_across_next_prepare();
+  cache.prepare(12, 4, 2, nullptr);  // new signature, same widths
+  ASSERT_NE(cache.find_joc({1, 2}), nullptr);  // carried
+  EXPECT_EQ(cache.find_joc({1, 2})[0], 7.0);
+  EXPECT_EQ(cache.find_presence({1, 2}), nullptr);  // presence never carried
+
+  // One-shot: the next signature change drops rows as usual.
+  cache.insert_joc({3, 4})[0] = 9.0;
+  cache.prepare(13, 4, 2, nullptr);
+  EXPECT_EQ(cache.find_joc({1, 2}), nullptr);
+  EXPECT_EQ(cache.find_joc({3, 4}), nullptr);
+
+  // A carried prepare with a *different* JOC width must still reset —
+  // width mismatch always wins over the carry flag.
+  cache.insert_joc({5, 6});
+  cache.carry_joc_across_next_prepare();
+  cache.prepare(14, 8, 2, nullptr);
+  EXPECT_EQ(cache.find_joc({5, 6}), nullptr);
+  EXPECT_EQ(cache.joc_width(), 8u);
+}
+
+}  // namespace

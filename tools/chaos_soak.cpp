@@ -23,11 +23,23 @@
 // memory-capped and deadline-capped runs must complete with exit status 0,
 // a last-good result, and a populated DegradationReport.
 //
+// Stream mode (--stream-mode) soaks the `friendseeker serve` ingestion
+// path: a replayed check-in stream (with trailing poison lines) is killed
+// mid-tick, torn mid-journal-write, and denied file opens under seeded
+// schedules; every killed run is resumed from the journal + snapshot by a
+// fresh daemon. Invariants: the post-drain engine digest is identical to
+// the uninterrupted baseline, the quarantine census is preserved across
+// kills, nothing is shed under kBlock, and the stream-assembled dataset
+// drives the batch pipeline to byte-identical predictions.
+//
 // The schedule stream is fully determined by --seed, so a CI failure
 // reproduces locally with the same flags.
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,7 +49,10 @@
 #include "eval/pairs.h"
 #include "graph/metrics.h"
 #include "par/pool.h"
+#include "stream/daemon.h"
+#include "stream/source.h"
 #include "util/args.h"
+#include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/runtime.h"
@@ -346,6 +361,224 @@ int run_soak(const SoakOptions& options) {
   return violations.empty() ? 0 : 1;
 }
 
+/// Writes the streaming input: every batch check-in line verbatim, plus a
+/// trailing poison block (one line per structured reject reason the parser
+/// can hit on a replay) so the quarantine census is nontrivial and its
+/// crash-survival is actually exercised.
+std::string write_stream_input(const World& world,
+                               const SoakOptions& options) {
+  const std::string path = options.work_dir + "/stream_checkins.txt";
+  std::ifstream in(world.checkins_path, std::ios::binary);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  out << "7\tmalformed\n";                                   // short line
+  out << "7\t2010-13-40T99:99:99Z\t10.0\t20.0\t3\n";          // bad timestamp
+  out << "7\t2010-10-19T23:55:27Z\t95.0\t20.0\t3\n";          // |lat| > 90
+  out << "7\t2010-10-19T23:55:27Z\t10.0\t20.0\tnot-a-poi\n";  // bad number
+  return path;
+}
+
+stream::ServeConfig make_serve_config(std::string journal_dir) {
+  stream::ServeConfig cfg;
+  cfg.ring_capacity = 64;
+  cfg.backpressure = stream::Backpressure::kBlock;
+  cfg.events_per_tick = 16;
+  cfg.tick_budget_ms = 0;  // unlimited decide phase: deterministic ticks
+  cfg.snapshot_every = 4;
+  cfg.journal_dir = std::move(journal_dir);
+  return cfg;
+}
+
+int run_stream_soak(const SoakOptions& options) {
+  const World world = make_world(options);
+  const std::string stream_path = write_stream_input(world, options);
+
+  // Uninterrupted baseline: replay the whole stream once, fault-free.
+  fp::clear();
+  const std::string baseline_dir = options.work_dir + "/stream_baseline";
+  std::filesystem::remove_all(baseline_dir);
+  std::filesystem::create_directories(baseline_dir);
+  stream::ServeDaemon baseline_daemon(
+      make_serve_config(baseline_dir),
+      std::make_unique<stream::ReplaySource>(stream_path));
+  const stream::ServeReport baseline = baseline_daemon.run();
+  const auto baseline_counts = baseline_daemon.quarantine().counts();
+  std::printf("stream-soak: baseline lines=%llu accepted=%llu "
+              "quarantined=%llu edges=%llu digest=%016llx\n",
+              static_cast<unsigned long long>(baseline.consumed_lines),
+              static_cast<unsigned long long>(baseline.accepted),
+              static_cast<unsigned long long>(baseline.quarantined),
+              static_cast<unsigned long long>(baseline.live_edges),
+              static_cast<unsigned long long>(baseline.final_digest));
+  if (!baseline.exhausted || baseline.quarantined != 4 ||
+      baseline.shed != 0) {
+    std::fprintf(stderr, "stream-soak: baseline malformed (exhausted=%d "
+                 "quarantined=%llu shed=%llu)\n",
+                 baseline.exhausted ? 1 : 0,
+                 static_cast<unsigned long long>(baseline.quarantined),
+                 static_cast<unsigned long long>(baseline.shed));
+    return 1;
+  }
+
+  std::vector<Violation> violations;
+  const auto violation = [&](int run, std::string invariant,
+                             std::string detail) {
+    violations.push_back(
+        Violation{run, std::move(invariant), std::move(detail)});
+  };
+
+  // ---- differential: the stream-assembled dataset must drive the batch
+  // pipeline to byte-identical results. ----
+  {
+    const auto raw_edges = data::read_edges_file(world.edges_path);
+    const data::Dataset stream_ds =
+        baseline_daemon.engine().to_dataset(raw_edges);
+    if (stream_ds.user_count() != world.dataset.user_count() ||
+        stream_ds.poi_count() != world.dataset.poi_count())
+      violation(-1, "stream-to-batch",
+                "stream dataset shape diverged from batch load");
+    core::FriendSeekerConfig cfg = world.config;
+    cfg.max_iterations = 2;
+    core::FriendSeeker batch_seeker(cfg);
+    const auto batch_result = batch_seeker.run(
+        world.dataset, world.split.train_pairs, world.split.train_labels,
+        world.split.test_pairs);
+    core::FriendSeeker stream_seeker(cfg);
+    const auto stream_result = stream_seeker.run(
+        stream_ds, world.split.train_pairs, world.split.train_labels,
+        world.split.test_pairs);
+    if (stream_result.test_predictions != batch_result.test_predictions)
+      violation(-1, "stream-to-batch", "pipeline predictions diverged");
+    if (!scores_identical(stream_result.test_scores,
+                          batch_result.test_scores))
+      violation(-1, "stream-to-batch",
+                "pipeline scores are not byte-identical");
+    if (graph::edge_change_ratio(stream_result.final_graph,
+                                 batch_result.final_graph) != 0.0)
+      violation(-1, "stream-to-batch", "pipeline final graph diverged");
+    std::printf("stream-soak: stream-to-batch pipeline differential %s\n",
+                violations.empty() ? "identical" : "DIVERGED");
+  }
+
+  // Seeded fault runs. Each picks one stream fault; every killed attempt
+  // is resumed by a brand-new daemon over a brand-new source, so recovery
+  // is always from durable state alone.
+  int interrupted_and_resumed = 0;
+  std::uint64_t total_fired = 0;
+  const std::uint64_t total_ticks =
+      baseline.consumed_lines / 16 + 2;  // matches events_per_tick above
+  for (int run = 0; run < options.runs; ++run) {
+    util::Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 0xace5ULL +
+                  static_cast<std::uint64_t>(run));
+    fp::clear();
+    std::string fault_name;
+    fp::Config fault_cfg;
+    bool absorbed = false;  // absorbed faults must NOT kill the daemon
+    switch (run % 3) {
+      case 0:  // mid-stream kill between commit points
+        fault_name = "stream.tick.abort";
+        fault_cfg.action = fp::Action::kError;
+        fault_cfg.skip = static_cast<int>(rng.next_u64(total_ticks));
+        fault_cfg.limit = 1;
+        break;
+      case 1:  // torn journal write: partial frame hits the disk
+        fault_name = "stream.journal.torn_write";
+        fault_cfg.action = fp::Action::kTruncate;
+        fault_cfg.skip =
+            static_cast<int>(rng.next_u64(baseline.consumed_lines));
+        fault_cfg.limit = 1;
+        break;
+      default:  // transient open failure, absorbed by the retry policy
+        fault_name = "stream.source.open_fail";
+        fault_cfg.action = fp::Action::kError;
+        fault_cfg.limit = 1;
+        absorbed = true;
+        break;
+    }
+    fp::activate(fault_name, fault_cfg);
+
+    const std::string dir =
+        options.work_dir + "/stream_run_" + std::to_string(run);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    int kills = 0;
+    bool completed = false;
+    bool truncation_seen = false;
+    stream::ServeReport report;
+    std::array<std::uint64_t, stream::kRejectReasonCount> counts{};
+    while (!completed) {
+      stream::ServeDaemon daemon(
+          make_serve_config(dir),
+          std::make_unique<stream::ReplaySource>(stream_path));
+      const auto info = daemon.recover();
+      truncation_seen = truncation_seen || info.journal_truncated;
+      try {
+        report = daemon.run();
+        counts = daemon.quarantine().counts();
+        completed = true;
+      } catch (const fp::InjectedKill&) {
+        ++kills;
+      } catch (const IoError&) {
+        ++kills;  // torn journal write surfaces as an I/O crash
+      }
+      if (kills > 8) {
+        violation(run, "liveness", "kill budget never exhausted");
+        break;
+      }
+    }
+    if (!completed) continue;
+    if (kills > 0) ++interrupted_and_resumed;
+
+    // ---- invariant: fault accounting. ----
+    const std::uint64_t fired = fp::triggers(fault_name);
+    total_fired += fired;
+    if (fired > 0) {
+      if (absorbed) {
+        if (kills != 0)
+          violation(run, "fault-accounting",
+                    fault_name + " should be retry-absorbed but killed " +
+                        std::to_string(kills) + "x");
+      } else if (kills == 0) {
+        violation(run, "fault-accounting",
+                  fault_name + " fired " + std::to_string(fired) +
+                      "x but no kill was observed");
+      } else if (fault_name == "stream.journal.torn_write" &&
+                 !truncation_seen) {
+        violation(run, "fault-accounting",
+                  "torn write fired but recovery never cut a torn tail");
+      }
+    }
+
+    // ---- invariant: convergence to the uninterrupted baseline. ----
+    if (report.final_digest != baseline.final_digest)
+      violation(run, "resume-equivalence",
+                "post-drain digest diverged from baseline");
+    if (report.shed != 0)
+      violation(run, "resume-equivalence", "kBlock run shed lines");
+    if (counts != baseline_counts)
+      violation(run, "quarantine-census",
+                "quarantine counts diverged across kill/resume");
+
+    std::filesystem::remove_all(dir);
+  }
+
+  fp::clear();
+  std::printf("stream-soak: %d/%d runs interrupted+resumed, %llu faults "
+              "fired, %zu invariant violations\n",
+              interrupted_and_resumed, options.runs,
+              static_cast<unsigned long long>(total_fired),
+              violations.size());
+  for (const Violation& v : violations)
+    std::fprintf(stderr, "violation (run %d, %s): %s\n", v.run,
+                 v.invariant.c_str(), v.detail.c_str());
+  if (total_fired == 0) {
+    std::fprintf(stderr, "stream-soak: no faults fired — schedule bug\n");
+    return 1;
+  }
+  return violations.empty() ? 0 : 1;
+}
+
 int run_budget_mode(const SoakOptions& options) {
   const World world = make_world(options);
   int failures = 0;
@@ -429,6 +662,9 @@ int main(int argc, char** argv) {
   args.add_flag("budget-mode",
                 "verify graceful degradation under memory/deadline budgets "
                 "instead of running the soak");
+  args.add_flag("stream-mode",
+                "soak the serve/streaming path: seeded mid-stream kills, "
+                "torn journal writes, open failures, digest convergence");
   args.add_flag("help", "show options");
   try {
     args.parse(argc, argv, 1);
@@ -448,8 +684,9 @@ int main(int argc, char** argv) {
           (std::filesystem::temp_directory_path() / "fs_chaos_soak")
               .string();
     std::filesystem::create_directories(options.work_dir);
-    return args.get_flag("budget-mode") ? run_budget_mode(options)
-                                        : run_soak(options);
+    if (args.get_flag("budget-mode")) return run_budget_mode(options);
+    if (args.get_flag("stream-mode")) return run_stream_soak(options);
+    return run_soak(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "chaos_soak: %s\n", e.what());
     return 1;

@@ -11,6 +11,14 @@
 //                          [--metrics-out M.json --trace-out T.json
 //                           --metrics-interval-sec S]
 //   friendseeker obfuscate CHECKINS EDGES --mechanism M --ratio R --out DIR
+//   friendseeker serve     CHECKINS [EDGES] --source replay|tail
+//                          [--journal-dir DIR --snapshot-every N]
+//                          [--tick-ms MS --staleness-budget-ms MS]
+//                          [--events-per-tick N --ring-capacity N
+//                           --backpressure block|shed]
+//                          [--max-ticks N --lateness-budget-sec S]
+//                          [--finalize [--finalize-every N]]
+//                          [--expect-digest HEX]
 //   friendseeker --list-failpoints
 //
 // Mechanisms: hide | blur-in | blur-cross | friendguard.
@@ -20,10 +28,12 @@
 // exits with status 130. A run truncated by --deadline-sec or
 // --max-memory-mb degrades gracefully (last-good graph, degradation report
 // on stderr) and exits 0.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "block/candidate_gen.h"
 #include "data/defense.h"
@@ -36,6 +46,8 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "stream/daemon.h"
+#include "stream/source.h"
 #include "util/args.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -55,6 +67,8 @@ int usage() {
       "  stats      dataset statistics and co-presence census\n"
       "  attack     run FriendSeeker (and baselines) on a dataset\n"
       "  obfuscate  apply a countermeasure and write the perturbed dataset\n"
+      "  serve      stream check-ins through the crash-safe ingestion "
+      "daemon\n"
       "\nglobal flags:\n"
       "  --list-failpoints  print the compiled-in fault-injection registry\n"
       "\nrun 'friendseeker <command> --help' for command options\n");
@@ -353,6 +367,252 @@ int cmd_attack(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("source", "replay",
+                  "event source: replay (SNAP file, file order, rate-limited "
+                  "by --events-per-tick) | tail (follow a growing file)");
+  args.add_option("journal-dir", "",
+                  "durability directory (CRC-framed journal + snapshots); "
+                  "empty = volatile run, no crash recovery");
+  args.add_option("snapshot-every", "0",
+                  "write an incremental snapshot (and compact the journal) "
+                  "every N ticks (0 = only at shutdown)");
+  args.add_option("tick-ms", "50",
+                  "per-tick wall-clock budget for re-deciding the dirty "
+                  "pair frontier (0 = unlimited)");
+  args.add_option("staleness-budget-ms", "200",
+                  "staleness SLO: the oldest dirty pair may lag at most "
+                  "this far behind (converted to ticks of --tick-ms)");
+  args.add_option("events-per-tick", "64",
+                  "lines polled from the source and consumed from the ring "
+                  "per tick (the replay event rate)");
+  args.add_option("ring-capacity", "256", "backpressure ring capacity");
+  args.add_option("backpressure", "block",
+                  "ring-full policy: block (lossless, stalls the source) | "
+                  "shed (drop overflow with accounting)");
+  args.add_option("max-ticks", "0", "stop after N ticks (0 = run to "
+                                    "exhaustion / cancellation)");
+  args.add_option("lateness-budget-sec", "0",
+                  "quarantine events older than the watermark minus this "
+                  "budget (0 = accept any order, like the batch loader)");
+  args.add_option("sigma", "16", "quadtree leaf capacity for the live index");
+  args.add_option("tau", "1", "time-slot length in days for the live index");
+  args.add_option("iterations", "6",
+                  "max refinement iterations for --finalize pipeline runs");
+  args.add_option("expect-digest", "",
+                  "hex digest the drained engine state must match; "
+                  "mismatch exits 3 (convergence differential)");
+  args.add_option("finalize-every", "0",
+                  "with --finalize: also run the pipeline every N ticks, "
+                  "delta-invalidating the shared feature cache (0 = only "
+                  "at the end)");
+  args.add_option("metrics-out", "",
+                  "write metrics here as JSON (plus a .prom twin)");
+  args.add_flag("finalize",
+                "after the stream drains, assemble the batch-equivalent "
+                "dataset and run the full FriendSeeker pipeline on it "
+                "(requires the EDGES positional)");
+  args.add_flag("help", "show options");
+  args.parse(argc, argv, 2);
+  if (args.get_flag("help")) {
+    std::fprintf(stderr,
+                 "usage: friendseeker serve CHECKINS [EDGES] [options]\n%s",
+                 args.help().c_str());
+    return 0;
+  }
+  if (args.positional().empty())
+    throw std::invalid_argument("expected: CHECKINS [EDGES]");
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string metrics_out = args.get("metrics-out");
+  if (!metrics_out.empty()) obs::set_metrics_enabled(true);
+
+  runtime::install_signal_handlers();
+  runtime::ExecutionContext context;
+  context.set_cancellation(&runtime::global_token());
+
+  stream::ServeConfig cfg;
+  cfg.engine.sigma = static_cast<std::size_t>(args.get_int("sigma"));
+  cfg.engine.tau_days = args.get_double("tau");
+  cfg.engine.lateness_budget_sec =
+      static_cast<geo::Timestamp>(args.get_int("lateness-budget-sec"));
+  cfg.ring_capacity = static_cast<std::size_t>(args.get_int("ring-capacity"));
+  cfg.events_per_tick =
+      static_cast<std::size_t>(args.get_int("events-per-tick"));
+  cfg.tick_budget_ms = args.get_double("tick-ms");
+  const double staleness_ms = args.get_double("staleness-budget-ms");
+  cfg.staleness_budget_ticks =
+      cfg.tick_budget_ms > 0
+          ? static_cast<std::uint64_t>(
+                std::max(1.0, staleness_ms / cfg.tick_budget_ms))
+          : 4;
+  cfg.journal_dir = args.get("journal-dir");
+  cfg.snapshot_every =
+      static_cast<std::uint64_t>(args.get_int("snapshot-every"));
+  cfg.max_ticks = static_cast<std::uint64_t>(args.get_int("max-ticks"));
+  const std::string backpressure = args.get("backpressure");
+  if (backpressure == "block")
+    cfg.backpressure = stream::Backpressure::kBlock;
+  else if (backpressure == "shed")
+    cfg.backpressure = stream::Backpressure::kShed;
+  else
+    throw std::invalid_argument("--backpressure must be block or shed");
+  const std::string source_kind = args.get("source");
+  std::unique_ptr<stream::EventSource> source;
+  if (source_kind == "replay") {
+    source = std::make_unique<stream::ReplaySource>(args.positional()[0]);
+  } else if (source_kind == "tail") {
+    source = std::make_unique<stream::FileTailSource>(args.positional()[0]);
+    cfg.stop_when_exhausted = false;
+    cfg.idle_sleep_ms = cfg.tick_budget_ms > 0 ? cfg.tick_budget_ms : 50.0;
+  } else {
+    throw std::invalid_argument("--source must be replay or tail");
+  }
+  util::Diagnostics diagnostics;
+  cfg.context = &context;
+  cfg.diagnostics = &diagnostics;
+  if (!cfg.journal_dir.empty())
+    std::filesystem::create_directories(cfg.journal_dir);
+
+  stream::ServeDaemon daemon(std::move(cfg), std::move(source));
+  const stream::RecoveryInfo recovery = daemon.recover();
+  if (recovery.snapshot_used || recovery.journal_frames_replayed > 0)
+    std::fprintf(stderr,
+                 "recovered: %llu consumed lines (snapshot %s, %llu journal "
+                 "frames%s)\n",
+                 static_cast<unsigned long long>(recovery.consumed_lines),
+                 recovery.snapshot_used ? "used" : "absent",
+                 static_cast<unsigned long long>(
+                     recovery.journal_frames_replayed),
+                 recovery.journal_truncated ? ", torn tail cut" : "");
+
+  // The finalize path shares one feature cache across repeated pipeline
+  // runs: the engine reports which users each delta touched, the cache
+  // evicts exactly their JOC rows (presence drops wholesale — its model
+  // retrains), and carry_joc_across_next_prepare lets the rows of
+  // untouched pairs survive the signature change. The carry is only sound
+  // while the POI universe (hence the quadtree division) and the JOC
+  // width are unchanged; a POI-count change falls back to a full drop.
+  block::FeatureCache cache;
+  std::size_t finalized_poi_count = 0;
+  bool cache_primed = false;
+  const bool finalize = args.get_flag("finalize");
+  if (finalize && args.positional().size() < 2)
+    throw std::invalid_argument("--finalize requires the EDGES positional");
+  auto run_finalize = [&](const char* label) {
+    const auto raw_edges = data::read_edges_file(args.positional()[1]);
+    std::vector<long long> dense_to_raw;
+    data::LoadReport report;
+    const data::Dataset ds =
+        daemon.engine().to_dataset(raw_edges, {}, &report, &dense_to_raw);
+    if (ds.user_count() < 4) {
+      std::fprintf(stderr,
+                   "finalize(%s): only %zu active users, skipping pipeline\n",
+                   label, ds.user_count());
+      return;
+    }
+    const auto touched_raw = daemon.engine().take_touched_users();
+    if (cache_primed && ds.poi_count() == finalized_poi_count) {
+      std::unordered_map<long long, data::UserId> raw_to_dense;
+      for (std::size_t i = 0; i < dense_to_raw.size(); ++i)
+        raw_to_dense.emplace(dense_to_raw[i],
+                             static_cast<data::UserId>(i));
+      std::vector<data::UserId> touched_dense;
+      for (const auto raw : touched_raw) {
+        const auto it = raw_to_dense.find(raw);
+        if (it != raw_to_dense.end()) touched_dense.push_back(it->second);
+      }
+      const std::size_t evicted = cache.invalidate_joc_touching(touched_dense);
+      cache.invalidate_presence_all();
+      cache.carry_joc_across_next_prepare();
+      std::fprintf(stderr,
+                   "finalize(%s): delta-invalidated %zu JOC rows for %zu "
+                   "touched users (carrying the rest)\n",
+                   label, evicted, touched_dense.size());
+    }
+    finalized_poi_count = ds.poi_count();
+    cache_primed = true;
+
+    const eval::Experiment experiment =
+        eval::make_experiment(ds, args.positional()[0]);
+    core::FriendSeekerConfig seeker_cfg = eval::default_seeker_config();
+    seeker_cfg.sigma = static_cast<std::size_t>(args.get_int("sigma"));
+    seeker_cfg.tau_days = args.get_double("tau");
+    seeker_cfg.max_iterations = static_cast<int>(args.get_int("iterations"));
+    seeker_cfg.context = &context;
+    seeker_cfg.feature_cache = &cache;
+    eval::FriendSeekerAttack seeker(seeker_cfg);
+    const ml::Prf prf = eval::run_attack(seeker, experiment);
+    const auto& cs = seeker.last_result().cache;
+    std::fprintf(stderr,
+                 "finalize(%s): F1 %.4f | cache %.1f%% hit rate, %zu JOC + "
+                 "%zu presence rows\n",
+                 label, prf.f1, cs.hit_rate() * 100.0, cs.joc_rows,
+                 cs.presence_rows);
+  };
+
+  stream::ServeReport report;
+  const auto max_ticks_flag =
+      static_cast<std::uint64_t>(args.get_int("max-ticks"));
+  if (finalize && args.get_int("finalize-every") > 0) {
+    // Chunked run: serve N ticks, finalize with delta invalidation, repeat
+    // until the stream stops (exhaustion, max-ticks, or a signal).
+    const auto chunk = static_cast<std::uint64_t>(
+        args.get_int("finalize-every"));
+    while (true) {
+      report = daemon.run_for(chunk);
+      run_finalize("periodic");
+      if (report.exhausted || report.cancelled) break;
+      if (max_ticks_flag != 0 && report.ticks >= max_ticks_flag) break;
+    }
+  } else {
+    report = daemon.run();
+    if (finalize) run_finalize("final");
+  }
+
+  std::fprintf(stderr,
+               "serve: %llu ticks, %llu consumed (%llu accepted, %llu "
+               "quarantined, %llu shed), %llu blocked polls, %llu "
+               "snapshots, %llu deadline hits, max staleness %llu ticks "
+               "(%llu violations), %llu live edges\n",
+               static_cast<unsigned long long>(report.ticks),
+               static_cast<unsigned long long>(report.consumed_lines),
+               static_cast<unsigned long long>(report.accepted),
+               static_cast<unsigned long long>(report.quarantined),
+               static_cast<unsigned long long>(report.shed),
+               static_cast<unsigned long long>(report.blocked_polls),
+               static_cast<unsigned long long>(report.snapshots_written),
+               static_cast<unsigned long long>(report.deadline_hits),
+               static_cast<unsigned long long>(report.max_staleness_ticks),
+               static_cast<unsigned long long>(report.staleness_violations),
+               static_cast<unsigned long long>(report.live_edges));
+  if (report.quarantined > 0)
+    std::fprintf(stderr, "%s\n", daemon.quarantine().summary().c_str());
+  std::printf("state digest: %016llx\n",
+              static_cast<unsigned long long>(report.final_digest));
+  if (!metrics_out.empty()) {
+    obs::write_metrics_files(obs::metrics(), metrics_out);
+    std::fprintf(stderr, "metrics: %s\n", metrics_out.c_str());
+  }
+  if (report.cancelled || runtime::global_token().requested()) {
+    std::fprintf(stderr, "interrupted by signal %d; journal intact\n",
+                 runtime::last_signal());
+    return 130;
+  }
+  const std::string expect = args.get("expect-digest");
+  if (!expect.empty()) {
+    const auto expected = std::stoull(expect, nullptr, 16);
+    if (expected != report.final_digest) {
+      std::fprintf(stderr,
+                   "digest mismatch: expected %016llx, got %016llx\n",
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(report.final_digest));
+      return 3;
+    }
+  }
+  return 0;
+}
+
 int cmd_obfuscate(int argc, char** argv) {
   util::ArgParser args;
   args.add_option("mechanism", "hide",
@@ -417,6 +677,7 @@ int main(int argc, char** argv) {
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "attack") return cmd_attack(argc, argv);
     if (command == "obfuscate") return cmd_obfuscate(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
   } catch (const fs::CancelledError& e) {
     // Cancellation at a hard checkpoint (e.g. mid-load): the working state
     // is unusable, exit with the conventional interrupted status.
