@@ -1,0 +1,143 @@
+#include "net/feed.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/binary_io.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace fs::net {
+
+namespace {
+
+namespace fp = util::failpoint;
+
+/// A retryable transport fault (disconnect, timeout, torn send). Converted
+/// to IoError only when the retry budget runs out.
+struct TransportFault {
+  std::string what;
+};
+
+void send_frame(int fd, const std::string& frame) {
+  // net.feed.torn_send cuts this frame short; the partial write followed by
+  // the disconnect (TransportFault → reconnect) is exactly a torn network
+  // write as the server sees it.
+  const std::size_t writable = fp::truncate("net.feed.torn_send", frame.size());
+  if (!util::write_all_eintr(fd, frame.data(), writable))
+    throw TransportFault{"send failed"};
+  if (writable != frame.size())
+    throw TransportFault{"torn send injected (" + std::to_string(writable) +
+                         "/" + std::to_string(frame.size()) + " bytes)"};
+}
+
+/// Blocking read of the next well-formed frame; SO_RCVTIMEO bounds the
+/// wait. Any decode error or EOF is a transport fault (the client never
+/// trusts a desynchronized stream).
+Frame read_frame(int fd, FrameDecoder& decoder) {
+  Frame frame;
+  while (true) {
+    switch (decoder.next(frame)) {
+      case DecodeStatus::kFrame:
+        return frame;
+      case DecodeStatus::kError:
+        throw TransportFault{std::string("undecodable server frame: ") +
+                             frame_error_name(decoder.error())};
+      case DecodeStatus::kNeedMore:
+        break;
+    }
+    char buf[1 << 12];
+    const ssize_t n = util::read_eintr(fd, buf, sizeof buf);
+    if (n == 0) throw TransportFault{"server closed the connection"};
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw TransportFault{"timed out waiting for the server"};
+      throw TransportFault{"recv failed"};
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+FeedReport feed_lines(const std::vector<std::string>& lines,
+                      const FeedOptions& options) {
+  FeedReport report;
+  report.lines_total = lines.size();
+  runtime::Retrier retrier(options.retry);
+  bool first_attempt = true;
+  std::string last_fault;
+  while (true) {
+    if (!first_attempt) ++report.reconnects;
+    try {
+      Fd fd = connect_tcp(options.host, options.port);
+      set_recv_timeout(fd.get(), options.ack_timeout_ms);
+      FrameDecoder decoder;
+
+      // Hello exchange: learn how much already entered the pipeline.
+      send_frame(fd.get(), encode_frame(FrameType::kHello, ""));
+      const Frame hello = read_frame(fd.get(), decoder);
+      if (hello.type != FrameType::kHello)
+        throw TransportFault{"expected hello, got another frame type"};
+      const auto watermark = frame_u64(hello);
+      if (!watermark)
+        throw TransportFault{"hello frame with malformed watermark"};
+
+      for (std::uint64_t i = *watermark; i < lines.size(); ++i) {
+        fp::fail("net.feed.stall");  // latency-action: simulated slow peer
+        send_frame(fd.get(), encode_frame(FrameType::kCheckin, lines[i]));
+        ++report.lines_sent;
+      }
+      if (!options.commit) return report;
+
+      send_frame(fd.get(), encode_frame(FrameType::kCommit, ""));
+      const Frame ack = read_frame(fd.get(), decoder);
+      if (ack.type != FrameType::kAck)
+        throw TransportFault{"expected ack, got another frame type"};
+      const auto durable = frame_u64(ack);
+      if (!durable) throw TransportFault{"ack frame with malformed watermark"};
+      report.durable_watermark = *durable;
+      report.committed = true;
+      return report;
+    } catch (const TransportFault& fault) {
+      last_fault = fault.what;
+    } catch (const IoError& error) {  // connect failure
+      last_fault = error.what();
+    }
+    first_attempt = false;
+    if (!retrier.retry())
+      throw IoError("feed failed after " + std::to_string(retrier.failures()) +
+                    " attempts (last: " + last_fault + ")");
+  }
+}
+
+FeedReport feed_file(const std::string& path, const FeedOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open feed input: " + path);
+  std::string content;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = util::read_eintr(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    auto nl = content.find('\n', start);
+    if (nl == std::string::npos) nl = content.size();
+    std::string line = content.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
+    if (util::trim(line).empty()) continue;  // same filter as ReplaySource
+    lines.push_back(std::move(line));
+  }
+  return feed_lines(lines, options);
+}
+
+}  // namespace fs::net

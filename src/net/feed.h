@@ -1,0 +1,50 @@
+// FeedClient: replays check-in lines over the wire protocol with retry.
+//
+// The client is the other half of the at-most-once contract: it keeps the
+// full line list, asks the server (hello) how many items have already
+// entered the pipeline, sends the remainder, and optionally commits —
+// blocking until the server acks that the journal fsync covers everything
+// sent. Disconnects anywhere in that sequence (network fault, injected
+// net.feed.torn_send, daemon restart) are absorbed by reconnecting under
+// the shared runtime::RetryPolicy (bounded attempts, exponential backoff,
+// seeded jitter) and resuming from the server's watermark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/runtime.h"
+
+namespace fs::net {
+
+struct FeedOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Retry budget across connect failures and mid-stream disconnects.
+  runtime::RetryPolicy retry;
+  /// Send a commit frame after the last line and wait for the durable ack.
+  bool commit = true;
+  /// Read deadline while waiting for hello/ack; a timeout counts as a
+  /// disconnect and retries.
+  double ack_timeout_ms = 30000.0;
+};
+
+struct FeedReport {
+  std::uint64_t lines_total = 0;   // lines offered (blank lines filtered)
+  std::uint64_t lines_sent = 0;    // checkin frames sent, incl. resends
+  std::uint64_t reconnects = 0;    // connections after the first
+  std::uint64_t durable_watermark = 0;  // from the final ack
+  bool committed = false;
+};
+
+/// Feeds `lines` (already blank-filtered) to host:port. Throws IoError once
+/// the retry budget is exhausted without completing.
+FeedReport feed_lines(const std::vector<std::string>& lines,
+                      const FeedOptions& options);
+
+/// Loads a SNAP file (blank lines filtered, like ReplaySource) and feeds
+/// it.
+FeedReport feed_file(const std::string& path, const FeedOptions& options);
+
+}  // namespace fs::net

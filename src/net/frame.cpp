@@ -1,0 +1,123 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+
+namespace fs::net {
+
+namespace {
+
+constexpr char kMagicBytes[4] = {'F', 'S', 'N', '1'};
+
+std::uint32_t magic_value() {
+  std::uint32_t value;
+  std::memcpy(&value, kMagicBytes, sizeof value);
+  return value;
+}
+
+bool valid_type(std::uint32_t type) {
+  return type >= static_cast<std::uint32_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint32_t>(FrameType::kAck);
+}
+
+}  // namespace
+
+const char* frame_error_name(FrameError error) {
+  switch (error) {
+    case FrameError::kNone: return "none";
+    case FrameError::kBadMagic: return "bad_magic";
+    case FrameError::kBadType: return "bad_type";
+    case FrameError::kOversized: return "oversized";
+    case FrameError::kCrcMismatch: return "crc_mismatch";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string frame;
+  frame.resize(kFrameHeaderBytes + payload.size());
+  const std::uint32_t magic = magic_value();
+  const auto type_u32 = static_cast<std::uint32_t>(type);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  std::memcpy(frame.data(), &magic, 4);
+  std::memcpy(frame.data() + 4, &type_u32, 4);
+  std::memcpy(frame.data() + 8, &len, 4);
+  std::memcpy(frame.data() + 12, &crc, 4);
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+              payload.size());
+  return frame;
+}
+
+std::string encode_frame_u64(FrameType type, std::uint64_t value) {
+  char payload[sizeof value];
+  std::memcpy(payload, &value, sizeof value);
+  return encode_frame(type, std::string_view(payload, sizeof value));
+}
+
+std::optional<std::uint64_t> frame_u64(const Frame& frame) {
+  if (frame.payload.size() != sizeof(std::uint64_t)) return std::nullopt;
+  std::uint64_t value;
+  std::memcpy(&value, frame.payload.data(), sizeof value);
+  return value;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t bytes) {
+  compact();
+  buffer_.append(data, bytes);
+}
+
+void FrameDecoder::compact() {
+  // Drop the consumed prefix once it dominates the buffer, so a long-lived
+  // connection doesn't grow its receive buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (error_ != FrameError::kNone) return DecodeStatus::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  const char* head = buffer_.data() + consumed_;
+  std::uint32_t magic, type, len, crc;
+  std::memcpy(&magic, head, 4);
+  std::memcpy(&type, head + 4, 4);
+  std::memcpy(&len, head + 8, 4);
+  std::memcpy(&crc, head + 12, 4);
+  if (magic != magic_value()) {
+    error_ = FrameError::kBadMagic;
+    return DecodeStatus::kError;
+  }
+  if (!valid_type(type)) {
+    error_ = FrameError::kBadType;
+    return DecodeStatus::kError;
+  }
+  if (len > kMaxFramePayload) {
+    error_ = FrameError::kOversized;
+    return DecodeStatus::kError;
+  }
+  if (available < kFrameHeaderBytes + len) return DecodeStatus::kNeedMore;
+  const char* payload = head + kFrameHeaderBytes;
+  if (util::crc32(payload, len) != crc) {
+    error_ = FrameError::kCrcMismatch;
+    bad_frame_bytes_ = kFrameHeaderBytes + len;
+    return DecodeStatus::kError;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(payload, len);
+  consumed_ += kFrameHeaderBytes + len;
+  return DecodeStatus::kFrame;
+}
+
+void FrameDecoder::resync() {
+  if (error_ != FrameError::kCrcMismatch) return;
+  consumed_ += bad_frame_bytes_;
+  bad_frame_bytes_ = 0;
+  error_ = FrameError::kNone;
+  compact();
+}
+
+}  // namespace fs::net

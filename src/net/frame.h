@@ -1,0 +1,105 @@
+// The check-in wire protocol: length-framed, CRC32-checked.
+//
+// Frame layout (host-endian u32s, like every durable artifact in this
+// repo — the feeder and daemon share a machine or an architecture):
+//
+//   [u32 magic "FSN1"][u32 type][u32 payload-bytes][u32 crc32(payload)]
+//   [payload]
+//
+// Types:
+//   kHello   1  client → server: empty payload, opens a feed session.
+//               server → client: u64 resume watermark (how many items the
+//               server has ever enqueued — the client skips that many of
+//               its own lines, giving at-most-once delivery across
+//               reconnects and daemon restarts).
+//   kCheckin 2  client → server: payload is one SNAP check-in line.
+//   kCommit  3  client → server: empty payload; requests a durable ack
+//               once everything delivered so far is fsynced.
+//   kAck     4  server → client: u64 durable watermark (journaled ordinal
+//               count; sent only after the journal fsync covers the
+//               commit's target).
+//
+// Decode failures are typed, because they recover differently:
+//   * kCrcMismatch — the frame boundary is known (header was sane), so the
+//     connection can resync past the bad payload; the payload bytes are
+//     poisoned into the quarantine as frame_corrupt.
+//   * kBadMagic / kBadType / kOversized — the byte stream is unframeable;
+//     the server poisons a frame_malformed marker and closes (there is no
+//     boundary to resync to).
+// A partial frame at EOF is a torn tail: discarded without an ordinal (the
+// client never had it acknowledged, so it resends after reconnect).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fs::net {
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,
+  kCheckin = 2,
+  kCommit = 3,
+  kAck = 4,
+};
+
+/// Largest accepted payload. A check-in line is ~100 bytes; anything near
+/// this bound is garbage or an attack, and bounding it keeps a malicious
+/// length field from allocating unbounded memory.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+inline constexpr std::size_t kFrameHeaderBytes = 4 * sizeof(std::uint32_t);
+
+struct Frame {
+  FrameType type = FrameType::kCheckin;
+  std::string payload;
+};
+
+enum class DecodeStatus { kNeedMore, kFrame, kError };
+
+enum class FrameError { kNone, kBadMagic, kBadType, kOversized, kCrcMismatch };
+
+const char* frame_error_name(FrameError error);
+
+/// Encodes one frame (header + payload).
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Hello/ack carry a bare u64 payload.
+std::string encode_frame_u64(FrameType type, std::uint64_t value);
+
+/// Extracts the u64 payload of a hello/ack frame; nullopt on size mismatch.
+std::optional<std::uint64_t> frame_u64(const Frame& frame);
+
+/// Incremental frame decoder over a TCP byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes received from the peer.
+  void feed(const char* data, std::size_t bytes);
+
+  /// Tries to decode the next frame. kFrame fills `out`; kNeedMore means
+  /// feed() more bytes; kError sets error() and leaves the cursor ON the
+  /// bad frame — call resync() (CRC mismatch only) to skip it, or drop the
+  /// connection for the unframeable errors.
+  DecodeStatus next(Frame& out);
+
+  FrameError error() const { return error_; }
+  /// True when the error is recoverable (known frame boundary).
+  bool can_resync() const { return error_ == FrameError::kCrcMismatch; }
+  /// Skips the CRC-failed frame and clears the error.
+  void resync();
+
+  /// Bytes buffered but not yet consumed (a non-zero value at connection
+  /// EOF is a torn tail).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  FrameError error_ = FrameError::kNone;
+  std::size_t bad_frame_bytes_ = 0;  // full size of the frame to skip
+};
+
+}  // namespace fs::net

@@ -1,0 +1,62 @@
+#include "net/http.h"
+
+namespace fs::net {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+HttpParseStatus parse_http_request(std::string_view buffer, HttpRequest& out,
+                                   std::size_t& consumed) {
+  // The head ends at the first blank line; tolerate bare-\n clients.
+  std::size_t head_end = buffer.find("\r\n\r\n");
+  std::size_t terminator = 4;
+  if (head_end == std::string_view::npos) {
+    head_end = buffer.find("\n\n");
+    terminator = 2;
+    if (head_end == std::string_view::npos) return HttpParseStatus::kNeedMore;
+  }
+  consumed = head_end + terminator;
+
+  std::size_t line_end = buffer.find('\n');
+  std::string_view line = buffer.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  const auto first_space = line.find(' ');
+  if (first_space == std::string_view::npos) return HttpParseStatus::kError;
+  const auto second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string_view::npos) return HttpParseStatus::kError;
+  out.method = std::string(line.substr(0, first_space));
+  std::string_view target =
+      line.substr(first_space + 1, second_space - first_space - 1);
+  const auto query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  if (target.empty() || target[0] != '/') return HttpParseStatus::kError;
+  out.target = std::string(target);
+  return HttpParseStatus::kRequest;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
+                         status_text(status) + "\r\n";
+  response += "Content-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace fs::net

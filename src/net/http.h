@@ -1,0 +1,35 @@
+// Minimal HTTP/1.1 for the scrape endpoints — just enough to serve GET
+// /metrics, /healthz, and /streamz to curl and a Prometheus scraper.
+//
+// Deliberate non-goals: keep-alive (every response carries
+// `Connection: close`), request bodies, chunked encoding, TLS. The scrape
+// endpoints are read-only introspection on a trusted network; the server's
+// connection cap, header-size bound, and idle deadline do the hardening.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace fs::net {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // "/metrics" (query string stripped)
+};
+
+enum class HttpParseStatus { kNeedMore, kRequest, kError };
+
+/// Parses one request head out of `buffer` (everything up to the blank
+/// line; headers themselves are skipped — the endpoints need none). On
+/// kRequest, `consumed` is the bytes of the head including its terminator.
+/// kError means an unparseable request line.
+HttpParseStatus parse_http_request(std::string_view buffer, HttpRequest& out,
+                                   std::size_t& consumed);
+
+/// Serializes a full response (status line, minimal headers with
+/// Content-Length and Connection: close, body).
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body);
+
+}  // namespace fs::net

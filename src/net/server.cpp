@@ -1,0 +1,604 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+#include "net/http.h"
+#include "obs/metrics.h"
+#include "util/binary_io.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace fs::net {
+
+namespace {
+
+namespace fp = util::failpoint;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point then, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+/// A printable, bounded description of rejected bytes — what lands in the
+/// quarantine sample for a poisoned frame. Never the raw bytes: they are by
+/// definition garbage and may be binary.
+std::string poison_description(FrameError error, std::size_t bytes) {
+  return std::string("net frame rejected (") + frame_error_name(error) +
+         ", " + std::to_string(bytes) + " buffered bytes)";
+}
+
+}  // namespace
+
+struct NetServer::Conn {
+  enum class Kind { kUnknown, kFeed, kHttp };
+
+  Fd fd;
+  Kind kind = Kind::kUnknown;
+  std::string rbuf;       // protocol-detection / HTTP head staging
+  FrameDecoder decoder;   // feed protocol
+  std::string wbuf;
+  std::size_t woff = 0;
+  Clock::time_point last_activity;
+  bool wants_ack = false;
+  std::uint64_t ack_target = 0;
+  bool close_after_write = false;
+  bool dead = false;
+
+  bool has_pending_write() const { return woff < wbuf.size(); }
+};
+
+class NetServer::Impl {
+ public:
+  explicit Impl(NetConfig config) : config_(std::move(config)) {}
+
+  ~Impl() { stop(); }
+
+  void start() {
+    if (running_.load()) return;
+    listener_ = listen_tcp(config_.bind_host, config_.port);
+    port_ = local_port(listener_.get());
+    stop_requested_.store(false);
+    accepting_.store(true);
+    register_metrics();
+    running_.store(true);
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  void stop_accepting() { accepting_.store(false); }
+
+  void stop() {
+    if (!running_.load() && !thread_.joinable()) return;
+    stop_requested_.store(true);
+    if (thread_.joinable()) thread_.join();
+    running_.store(false);
+  }
+
+  bool running() const { return running_.load(); }
+  std::uint16_t port() const { return port_; }
+
+  std::size_t drain(std::size_t max_items,
+                    std::vector<stream::SourceItem>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t moved = 0;
+    while (moved < max_items && !queue_.empty()) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++moved;
+    }
+    return moved;
+  }
+
+  void add_resume_base(std::uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    resume_base_ += n;
+  }
+
+  bool commit_pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_commits_ > 0;
+  }
+
+  void publish_durable(std::uint64_t watermark) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (watermark > durable_) durable_ = watermark;
+  }
+
+  void publish_streamz(std::string json) {
+    std::lock_guard<std::mutex> lock(mu_);
+    streamz_ = std::move(json);
+  }
+
+  NetStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  void register_metrics() {
+    auto& m = obs::metrics();
+    ctr_conns_ = &m.counter("net.connections_total", {},
+                            "TCP connections accepted");
+    ctr_shed_ = &m.counter("net.connections_shed_total", {},
+                           "connections closed at the connection cap");
+    ctr_reaped_ = &m.counter("net.connections_reaped_total", {},
+                             "connections killed by the idle deadline");
+    ctr_accept_fail_ = &m.counter("net.accept_failures_total", {},
+                                  "failed accept(2) calls (incl. injected)");
+    ctr_frames_ = &m.counter("net.frames_total", {},
+                             "well-formed wire frames decoded");
+    ctr_rejected_ = &m.counter("net.frames_rejected_total", {},
+                               "frames poisoned to quarantine (CRC/framing)");
+    ctr_http_ = &m.counter("net.http_requests_total", {},
+                           "HTTP scrape requests served");
+    ctr_acked_ = &m.counter("net.commits_acked_total", {},
+                            "durable commit acknowledgements sent");
+    ctr_bytes_in_ = &m.counter("net.bytes_received_total", {},
+                               "bytes read from peers");
+    ctr_bytes_out_ = &m.counter("net.bytes_sent_total", {},
+                                "bytes written to peers");
+    gauge_active_ = &m.gauge("net.connections_active", {},
+                             "currently established connections");
+  }
+
+  void loop() {
+    std::vector<pollfd> fds;
+    while (!stop_requested_.load()) {
+      fds.clear();
+      const bool accepting = accepting_.load() && listener_.valid();
+      if (accepting)
+        fds.push_back(pollfd{listener_.get(), POLLIN, 0});
+      const bool queue_full = queue_is_full();
+      for (auto& conn : conns_) {
+        short events = 0;
+        // A full item queue pauses reads on feed sockets only: TCP
+        // backpressure reaches the sender while scrapes stay live.
+        if (!(queue_full && conn->kind == Conn::Kind::kFeed)) events |= POLLIN;
+        if (conn->has_pending_write()) events |= POLLOUT;
+        fds.push_back(pollfd{conn->fd.get(), events, 0});
+      }
+      const int timeout = static_cast<int>(config_.poll_interval_ms);
+      const int ready = ::poll(fds.data(), fds.size(), timeout < 1 ? 1 : timeout);
+      if (ready < 0 && errno != EINTR) break;
+
+      std::size_t index = 0;
+      if (accepting) {
+        if (fds[0].revents & POLLIN) accept_ready();
+        index = 1;
+      }
+      for (std::size_t i = 0; i < conns_.size(); ++i, ++index) {
+        Conn& conn = *conns_[i];
+        const short revents = index < fds.size() ? fds[index].revents : 0;
+        if (conn.dead) continue;
+        if (fp::fail("net.conn.drop")) {
+          conn.dead = true;  // injected mid-stream disconnect
+          continue;
+        }
+        if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Flush what the peer already sent, then close below on EOF.
+          read_ready(conn);
+          if (!conn.dead) conn.dead = true;
+          continue;
+        }
+        if (revents & POLLIN) read_ready(conn);
+        // Feed decode is retried every iteration, not only on fresh bytes:
+        // frames may be sitting in the decoder because the queue was full.
+        if (!conn.dead && conn.kind == Conn::Kind::kFeed) decode_frames(conn);
+        if (!conn.dead && (revents & POLLOUT)) write_ready(conn);
+      }
+
+      send_ready_acks();
+      reap_idle();
+      remove_dead();
+    }
+    // Shutdown: close everything; torn tails are still accounted.
+    for (auto& conn : conns_) conn->dead = true;
+    remove_dead();
+    listener_.reset();
+    running_.store(false);
+  }
+
+  bool queue_is_full() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() >= config_.queue_capacity;
+  }
+
+  void accept_ready() {
+    while (true) {
+      if (fp::fail("net.accept.fail")) {
+        // Injected transient accept(2) failure: counted, connection stays
+        // in the backlog and completes on a later iteration.
+        bump([](NetStats& s) { ++s.accept_failures; });
+        ctr_accept_fail_->add(1);
+        return;
+      }
+      const int raw = util::accept_eintr(listener_.get(), nullptr, nullptr);
+      if (raw < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        bump([](NetStats& s) { ++s.accept_failures; });
+        ctr_accept_fail_->add(1);
+        return;
+      }
+      Fd fd(raw);
+      if (conns_.size() >= config_.max_connections) {
+        // Shed: accept-then-close so the peer gets a clean reset instead of
+        // an unbounded backlog, and the overflow is visible in metrics.
+        bump([](NetStats& s) { ++s.connections_shed; });
+        ctr_shed_->add(1);
+        continue;
+      }
+      set_nonblocking(fd.get());
+      auto conn = std::make_unique<Conn>();
+      conn->fd = std::move(fd);
+      conn->last_activity = Clock::now();
+      conns_.push_back(std::move(conn));
+      bump([this](NetStats& s) {
+        ++s.connections_total;
+        s.connections_active = conns_.size();
+      });
+      ctr_conns_->add(1);
+      gauge_active_->set(static_cast<double>(conns_.size()));
+    }
+  }
+
+  void read_ready(Conn& conn) {
+    char buf[1 << 16];
+    while (true) {
+      const ssize_t n = util::read_eintr(conn.fd.get(), buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        conn.dead = true;
+        return;
+      }
+      if (n == 0) {  // orderly EOF
+        conn.dead = true;
+        return;
+      }
+      conn.last_activity = Clock::now();
+      bump([n](NetStats& s) { s.bytes_received += static_cast<std::uint64_t>(n); });
+      ctr_bytes_in_->add(static_cast<std::uint64_t>(n));
+      ingest_bytes(conn, buf, static_cast<std::size_t>(n));
+      if (conn.dead) return;
+      if (static_cast<std::size_t>(n) < sizeof buf) return;
+    }
+  }
+
+  void ingest_bytes(Conn& conn, const char* data, std::size_t bytes) {
+    if (conn.kind == Conn::Kind::kUnknown) {
+      conn.rbuf.append(data, bytes);
+      if (conn.rbuf.size() < 4) return;
+      if (std::memcmp(conn.rbuf.data(), "FSN1", 4) == 0) {
+        conn.kind = Conn::Kind::kFeed;
+        conn.decoder.feed(conn.rbuf.data(), conn.rbuf.size());
+        conn.rbuf.clear();
+        conn.rbuf.shrink_to_fit();
+      } else {
+        conn.kind = Conn::Kind::kHttp;
+      }
+    } else if (conn.kind == Conn::Kind::kFeed) {
+      conn.decoder.feed(data, bytes);
+      return;
+    } else {
+      conn.rbuf.append(data, bytes);
+    }
+    if (conn.kind == Conn::Kind::kHttp) handle_http(conn);
+  }
+
+  void handle_http(Conn& conn) {
+    if (conn.rbuf.size() > config_.max_http_header_bytes) {
+      queue_response(conn, http_response(431, "text/plain",
+                                         "request head too large\n"));
+      return;
+    }
+    HttpRequest request;
+    std::size_t consumed = 0;
+    switch (parse_http_request(conn.rbuf, request, consumed)) {
+      case HttpParseStatus::kNeedMore:
+        return;
+      case HttpParseStatus::kError:
+        queue_response(conn,
+                       http_response(400, "text/plain", "bad request\n"));
+        return;
+      case HttpParseStatus::kRequest:
+        break;
+    }
+    conn.rbuf.erase(0, consumed);
+    bump([](NetStats& s) { ++s.http_requests; });
+    ctr_http_->add(1);
+    if (request.method != "GET") {
+      queue_response(conn, http_response(405, "text/plain",
+                                         "only GET is served here\n"));
+      return;
+    }
+    if (request.target == "/metrics") {
+      queue_response(conn,
+                     http_response(200, "text/plain; version=0.0.4",
+                                   obs::metrics().to_prometheus()));
+    } else if (request.target == "/healthz") {
+      queue_response(conn, http_response(200, "text/plain", "ok\n"));
+    } else if (request.target == "/streamz") {
+      queue_response(conn, http_response(200, "application/json",
+                                         streamz_body()));
+    } else {
+      queue_response(conn, http_response(404, "text/plain", "not found\n"));
+    }
+  }
+
+  std::string streamz_body() {
+    std::string daemon_json;
+    NetStats snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      daemon_json = streamz_;
+      snapshot = stats_;
+      snapshot.connections_active = conns_.size();
+    }
+    if (daemon_json.empty()) daemon_json = "null";
+    std::string net = "{";
+    const auto field = [&net](const char* key, std::uint64_t value,
+                              bool last = false) {
+      net += std::string("\"") + key + "\":" + std::to_string(value) +
+             (last ? "" : ",");
+    };
+    field("connections_total", snapshot.connections_total);
+    field("connections_active", snapshot.connections_active);
+    field("connections_shed", snapshot.connections_shed);
+    field("connections_reaped", snapshot.connections_reaped);
+    field("accept_failures", snapshot.accept_failures);
+    field("frames_total", snapshot.frames_total);
+    field("frames_rejected", snapshot.frames_rejected);
+    field("torn_tails", snapshot.torn_tails);
+    field("http_requests", snapshot.http_requests);
+    field("commits_acked", snapshot.commits_acked);
+    field("enqueued_total", snapshot.enqueued_total);
+    field("bytes_received", snapshot.bytes_received);
+    field("bytes_sent", snapshot.bytes_sent, /*last=*/true);
+    net += "}";
+    return "{\"daemon\":" + daemon_json + ",\"net\":" + net + "}\n";
+  }
+
+  void decode_frames(Conn& conn) {
+    Frame frame;
+    while (!conn.dead) {
+      if (queue_is_full()) return;  // resumes next iteration
+      const DecodeStatus status = conn.decoder.next(frame);
+      if (status == DecodeStatus::kNeedMore) return;
+      if (status == DecodeStatus::kError) {
+        const FrameError error = conn.decoder.error();
+        poison(conn, error);
+        if (conn.decoder.can_resync()) {
+          conn.decoder.resync();
+          continue;
+        }
+        conn.dead = true;  // unframeable stream: no boundary to resync to
+        return;
+      }
+      handle_frame(conn, frame);
+    }
+  }
+
+  void handle_frame(Conn& conn, Frame& frame) {
+    bump([](NetStats& s) { ++s.frames_total; });
+    ctr_frames_->add(1);
+    switch (frame.type) {
+      case FrameType::kHello: {
+        std::uint64_t watermark;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          watermark = resume_base_ + enqueued_total_;
+        }
+        queue_frame(conn, encode_frame_u64(FrameType::kHello, watermark));
+        write_ready(conn);  // the client blocks on this; don't wait a poll
+        break;
+      }
+      case FrameType::kCheckin: {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(
+            stream::SourceItem{std::move(frame.payload), std::nullopt});
+        ++enqueued_total_;
+        ++stats_.enqueued_total;
+        break;
+      }
+      case FrameType::kCommit: {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!conn.wants_ack) ++pending_commits_;
+        conn.wants_ack = true;
+        conn.ack_target = resume_base_ + enqueued_total_;
+        break;
+      }
+      case FrameType::kAck:
+        // Server-bound acks are a protocol violation; drop the peer.
+        bump([](NetStats& s) { ++s.frames_rejected; });
+        ctr_rejected_->add(1);
+        conn.dead = true;
+        break;
+    }
+  }
+
+  /// Routes rejected bytes into the stream as a poison item: it consumes an
+  /// ordinal downstream and lands in the quarantine census, so the loss is
+  /// accounted exactly like a malformed check-in line would be.
+  void poison(Conn& conn, FrameError error) {
+    const auto reason = error == FrameError::kCrcMismatch
+                            ? stream::RejectReason::kFrameCorrupt
+                            : stream::RejectReason::kFrameMalformed;
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(stream::SourceItem{
+        poison_description(error, conn.decoder.buffered()), reason});
+    ++enqueued_total_;
+    ++stats_.enqueued_total;
+    ++stats_.frames_rejected;
+    ctr_rejected_->add(1);
+  }
+
+  void queue_frame(Conn& conn, std::string frame) {
+    conn.wbuf.erase(0, conn.woff);
+    conn.woff = 0;
+    conn.wbuf += frame;
+  }
+
+  void queue_response(Conn& conn, std::string response) {
+    queue_frame(conn, std::move(response));
+    conn.close_after_write = true;
+  }
+
+  void write_ready(Conn& conn) {
+    while (conn.has_pending_write()) {
+      std::size_t len = conn.wbuf.size() - conn.woff;
+      const std::size_t writable = fp::truncate("net.write.torn", len);
+      const ssize_t n =
+          util::write_eintr(conn.fd.get(), conn.wbuf.data() + conn.woff,
+                            writable == 0 ? 1 : writable);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        conn.dead = true;
+        return;
+      }
+      conn.woff += static_cast<std::size_t>(n);
+      conn.last_activity = Clock::now();
+      bump([n](NetStats& s) { s.bytes_sent += static_cast<std::uint64_t>(n); });
+      ctr_bytes_out_->add(static_cast<std::uint64_t>(n));
+      if (writable < len) {
+        // Injected torn write: the byte stream is now desynchronized with
+        // the peer; close instead of sending a frame the decoder would
+        // poison on the other end.
+        conn.dead = true;
+        return;
+      }
+    }
+    if (conn.close_after_write) conn.dead = true;
+  }
+
+  void send_ready_acks() {
+    std::uint64_t durable;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      durable = durable_;
+    }
+    for (auto& conn : conns_) {
+      if (conn->dead || !conn->wants_ack) continue;
+      if (durable < conn->ack_target) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        conn->wants_ack = false;
+        if (pending_commits_ > 0) --pending_commits_;
+        ++stats_.commits_acked;
+      }
+      ctr_acked_->add(1);
+      queue_frame(*conn, encode_frame_u64(FrameType::kAck, durable));
+      // Kick the write immediately; POLLOUT picks up any remainder.
+      write_ready(*conn);
+    }
+  }
+
+  void reap_idle() {
+    if (config_.idle_timeout_ms <= 0) return;
+    const auto now = Clock::now();
+    for (auto& conn : conns_) {
+      if (conn->dead) continue;
+      if (ms_since(conn->last_activity, now) > config_.idle_timeout_ms) {
+        conn->dead = true;
+        bump([](NetStats& s) { ++s.connections_reaped; });
+        ctr_reaped_->add(1);
+      }
+    }
+  }
+
+  void remove_dead() {
+    bool removed = false;
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn& conn = **it;
+      if (!conn.dead) {
+        ++it;
+        continue;
+      }
+      if (conn.kind == Conn::Kind::kFeed && conn.decoder.buffered() > 0) {
+        // Torn tail: a partial frame died with the connection. No ordinal —
+        // the client was never acked for it and resends after reconnect.
+        bump([](NetStats& s) { ++s.torn_tails; });
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (conn.wants_ack && pending_commits_ > 0) --pending_commits_;
+      }
+      it = conns_.erase(it);
+      removed = true;
+    }
+    if (removed) {
+      bump([this](NetStats& s) { s.connections_active = conns_.size(); });
+      gauge_active_->set(static_cast<double>(conns_.size()));
+    }
+  }
+
+  template <typename Fn>
+  void bump(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn(stats_);
+  }
+
+  NetConfig config_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> running_{false};
+
+  // Poll-thread-only state.
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  // Shared state (daemon thread + poll thread).
+  mutable std::mutex mu_;
+  std::deque<stream::SourceItem> queue_;
+  std::uint64_t resume_base_ = 0;
+  std::uint64_t enqueued_total_ = 0;
+  std::uint64_t durable_ = 0;
+  std::size_t pending_commits_ = 0;
+  std::string streamz_;
+  NetStats stats_;
+
+  // Metric handles (resolved once at start()).
+  obs::Counter* ctr_conns_ = nullptr;
+  obs::Counter* ctr_shed_ = nullptr;
+  obs::Counter* ctr_reaped_ = nullptr;
+  obs::Counter* ctr_accept_fail_ = nullptr;
+  obs::Counter* ctr_frames_ = nullptr;
+  obs::Counter* ctr_rejected_ = nullptr;
+  obs::Counter* ctr_http_ = nullptr;
+  obs::Counter* ctr_acked_ = nullptr;
+  obs::Counter* ctr_bytes_in_ = nullptr;
+  obs::Counter* ctr_bytes_out_ = nullptr;
+  obs::Gauge* gauge_active_ = nullptr;
+};
+
+NetServer::NetServer(NetConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+NetServer::~NetServer() = default;
+
+void NetServer::start() { impl_->start(); }
+void NetServer::stop_accepting() { impl_->stop_accepting(); }
+void NetServer::stop() { impl_->stop(); }
+bool NetServer::running() const { return impl_->running(); }
+std::uint16_t NetServer::port() const { return impl_->port(); }
+std::size_t NetServer::drain(std::size_t max_items,
+                             std::vector<stream::SourceItem>& out) {
+  return impl_->drain(max_items, out);
+}
+void NetServer::add_resume_base(std::uint64_t n) { impl_->add_resume_base(n); }
+bool NetServer::commit_pending() const { return impl_->commit_pending(); }
+void NetServer::publish_durable(std::uint64_t watermark) {
+  impl_->publish_durable(watermark);
+}
+void NetServer::publish_streamz(std::string json) {
+  impl_->publish_streamz(std::move(json));
+}
+NetStats NetServer::stats() const { return impl_->stats(); }
+
+}  // namespace fs::net

@@ -1,0 +1,157 @@
+// NetServer: the poll(2)-based TCP front end of `friendseeker serve
+// --listen`, plus SocketSource, the fs::stream adapter that drains it.
+//
+// One background thread runs the whole server: accept, protocol detection
+// (first bytes "FSN1" = feed protocol, anything else = HTTP), frame
+// decoding, scrape responses, deadlines. The daemon thread interacts
+// through a mutex-guarded exchange:
+//
+//     poll thread                      daemon thread (tick loop)
+//     -----------                      -------------------------
+//     decoded check-in frames  ──────▶ SocketSource::poll  (drain)
+//     poisoned frames (CRC/framing) ─▶ (same queue, poison-tagged)
+//     commit requested?        ◀────── after_tick: sync_journal +
+//     durable watermark        ◀────── publish_durable
+//     /streamz body            ◀────── publish_streamz
+//
+// Hardening (the point of this subsystem):
+//   * bounded connection cap — overflow is accepted, counted, closed
+//   * per-connection idle deadline — stalled peers (slow-loris senders,
+//     scrape clients that never read) are reaped, so no client can delay
+//     ingestion
+//   * bounded item queue — when full, feed sockets stop being read and TCP
+//     backpressure propagates to the sender
+//   * bounded receive/HTTP-head buffers — no length field or header flood
+//     can allocate unbounded memory
+//   * every rejected byte is accounted: CRC-failed and unframeable frames
+//     become poison items (quarantined with ordinals downstream), torn
+//     tails at disconnect are counted and resent by the client
+//
+// Resume/ack semantics: the server's hello reply carries
+// resume_base + enqueued_total — the number of items that have ever
+// entered the pipeline, in consumed-ordinal terms. A reconnecting client
+// skips that many of its own lines (at-most-once). A commit records
+// ack_target = that same watermark; the ack is sent only once the daemon
+// has journaled-and-fsynced past it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "stream/source.h"
+
+namespace fs::net {
+
+struct NetConfig {
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (read back via NetServer::port())
+  /// Established-connection cap; further accepts are shed (closed+counted).
+  std::size_t max_connections = 64;
+  /// A connection with no read/write progress for this long is reaped.
+  double idle_timeout_ms = 30000.0;
+  /// poll(2) timeout — the latency floor for reaping and ack delivery.
+  double poll_interval_ms = 20.0;
+  /// HTTP request-head bound (431 + close beyond it).
+  std::size_t max_http_header_bytes = 8192;
+  /// Decoded-item queue bound; at the bound feed sockets stop being read.
+  std::size_t queue_capacity = 4096;
+};
+
+/// Monotonic totals since start(); all reads give a consistent snapshot.
+struct NetStats {
+  std::uint64_t connections_total = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_shed = 0;    // over the cap
+  std::uint64_t connections_reaped = 0;  // idle-deadline kills
+  std::uint64_t accept_failures = 0;     // injected or real accept errors
+  std::uint64_t frames_total = 0;        // well-formed frames decoded
+  std::uint64_t frames_rejected = 0;     // poisoned (CRC/framing)
+  std::uint64_t torn_tails = 0;          // partial frame at disconnect
+  std::uint64_t http_requests = 0;
+  std::uint64_t commits_acked = 0;
+  std::uint64_t enqueued_total = 0;      // items handed to the stream
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class NetServer {
+ public:
+  explicit NetServer(NetConfig config);
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, launches the poll thread. Throws IoError on bind
+  /// failure (port taken, bad address).
+  void start();
+
+  /// Closes the listener (new connections refused) but keeps serving
+  /// established ones — the first phase of a graceful drain.
+  void stop_accepting();
+
+  /// Stops the poll thread and closes every connection. Idempotent.
+  void stop();
+
+  bool running() const;
+
+  /// The bound port (resolves an ephemeral request after start()).
+  std::uint16_t port() const;
+
+  // ---- daemon-thread interface -----------------------------------------
+
+  /// Moves up to max_items decoded items out of the queue (SocketSource's
+  /// poll body). Returns the number appended.
+  std::size_t drain(std::size_t max_items,
+                    std::vector<stream::SourceItem>& out);
+
+  /// Adds `n` to the resume base — the consumed-line count recovered from
+  /// snapshot+journal, so hello watermarks line up with engine ordinals.
+  void add_resume_base(std::uint64_t n);
+
+  /// True when some feed connection has an unacknowledged commit — the
+  /// daemon responds by fsyncing the journal and publishing the watermark.
+  bool commit_pending() const;
+
+  /// Publishes the journaled-and-durable ordinal count; acks whose target
+  /// is covered are sent on the next poll iteration.
+  void publish_durable(std::uint64_t watermark);
+
+  /// Publishes the /streamz JSON body (daemon stats; the server wraps it
+  /// with its own connection stats).
+  void publish_streamz(std::string json);
+
+  NetStats stats() const;
+
+ private:
+  struct Conn;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// fs::stream adapter: the daemon polls the server's decoded-item queue
+/// like any other source. Never exhausted (a listener outlives any one
+/// client); skip_lines feeds recovery's consumed count back as the resume
+/// base.
+class SocketSource : public stream::EventSource {
+ public:
+  explicit SocketSource(NetServer& server) : server_(server) {}
+
+  std::size_t poll(std::size_t max_items,
+                   std::vector<stream::SourceItem>& out) override {
+    return server_.drain(max_items, out);
+  }
+  bool exhausted() const override { return false; }
+  void skip_lines(std::uint64_t n) override { server_.add_resume_base(n); }
+
+ private:
+  NetServer& server_;
+};
+
+}  // namespace fs::net

@@ -1,0 +1,64 @@
+// Thin RAII + setup helpers over POSIX TCP sockets.
+//
+// Everything here is deliberately boring: an owning fd wrapper and two
+// constructors (listen, connect) that fail loudly with IoError. All actual
+// I/O goes through the EINTR-safe helpers in util/binary_io — fs::net never
+// calls read/write/accept raw.
+//
+// IPv4 only (the daemon binds loopback or an explicit interface address;
+// name resolution is out of scope for a measurement harness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace fs::net {
+
+/// Owning file descriptor; closes on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking listening socket bound to host:port (port 0 =
+/// kernel-assigned ephemeral). SO_REUSEADDR is set so a restarted daemon
+/// can rebind its port while old connections linger in TIME_WAIT. Throws
+/// IoError on any failure.
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog = 64);
+
+/// Blocking connect to host:port. Throws IoError on failure.
+Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// The locally bound port of a socket (resolves an ephemeral bind).
+std::uint16_t local_port(int fd);
+
+/// Sets O_NONBLOCK; returns false (errno set) on failure.
+bool set_nonblocking(int fd);
+
+/// Sets SO_RCVTIMEO so blocking reads give up after `timeout_ms` (0 =
+/// never). Returns false on failure.
+bool set_recv_timeout(int fd, double timeout_ms);
+
+}  // namespace fs::net

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "util/failpoint.h"
 
@@ -113,6 +114,14 @@ void ServeDaemon::write_snapshot() {
 }
 
 void ServeDaemon::consume_line(StampedLine item) {
+  if (item.poison) {
+    // Transport-level poison (CRC/framing failure): the bytes were never a
+    // check-in line. Journal + quarantine the disposition without parsing.
+    if (journal_ != nullptr)
+      journal_->append_quarantined(item.ordinal, *item.poison, item.line);
+    quarantine_.add(item.ordinal, *item.poison, item.line);
+    return;
+  }
   RawEvent event;
   auto reason = parse_event_line(item.line, event);
   if (!reason) reason = engine_.preflight(event);
@@ -144,12 +153,13 @@ ServeReport ServeDaemon::run_for(std::uint64_t extra_ticks) {
       "stream.staleness_ticks", {},
       "age in ticks of the oldest dirty pair (SLO input)");
 
-  std::vector<std::string> polled;
+  std::vector<SourceItem> polled;
   while (true) {
     if (config_.max_ticks != 0 && report_.ticks >= config_.max_ticks) break;
     if (tick_limit != 0 && report_.ticks >= tick_limit) break;
     if (config_.context != nullptr && config_.context->cancelled()) {
       report_.cancelled = true;
+      if (config_.drain_on_cancel) finish();
       break;
     }
 
@@ -162,15 +172,15 @@ ServeReport ServeDaemon::run_for(std::uint64_t extra_ticks) {
         if (budget == 0) ++report_.blocked_polls;
       }
       if (budget > 0) source_->poll(budget, polled);
-      for (auto& line : polled) {
+      for (auto& item : polled) {
         const std::uint64_t ordinal = next_ordinal_++;
         if (ring_.full()) {
           // kShed only (kBlock never polls past free space): the overflow
           // is consumed as shed, with its accounting frame.
-          if (journal_ != nullptr) journal_->append_shed(ordinal, line);
+          if (journal_ != nullptr) journal_->append_shed(ordinal, item.line);
           ++report_.shed;
         } else {
-          ring_.push(StampedLine{ordinal, std::move(line)});
+          ring_.push(StampedLine{ordinal, std::move(item.line), item.poison});
         }
       }
     }
@@ -220,6 +230,8 @@ ServeReport ServeDaemon::run_for(std::uint64_t extra_ticks) {
         report_.ticks % config_.snapshot_every == 0)
       write_snapshot();
 
+    if (config_.after_tick) config_.after_tick(*this);
+
     if (config_.stop_when_exhausted && source_->exhausted() && ring_.empty() &&
         polled.empty()) {
       engine_.drain();
@@ -240,6 +252,55 @@ ServeReport ServeDaemon::run_for(std::uint64_t extra_ticks) {
   report_.final_digest = engine_.state_digest();
   report_.quarantine_summary = quarantine_.summary();
   return report_;
+}
+
+void ServeDaemon::finish() {
+  recover();
+  while (!ring_.empty()) consume_line(ring_.pop());
+  engine_.drain();
+  sync_journal();
+  write_snapshot();
+  report_.consumed_lines = next_ordinal_;
+  report_.accepted = engine_.accepted_count();
+  report_.quarantined = quarantine_.total();
+  report_.live_edges = engine_.live_edge_count();
+  report_.final_digest = engine_.state_digest();
+  report_.quarantine_summary = quarantine_.summary();
+}
+
+void ServeDaemon::sync_journal() {
+  if (journal_ != nullptr) journal_->sync();
+}
+
+std::string ServeDaemon::streamz_json() const {
+  obs::json::Object doc;
+  doc["ticks"] = report_.ticks;
+  doc["consumed_lines"] = next_ordinal_;
+  doc["journaled_watermark"] = journaled_watermark();
+  doc["accepted"] = engine_.accepted_count();
+  doc["live_edges"] = engine_.live_edge_count();
+  doc["dirty_pairs"] = engine_.dirty_pair_count();
+  doc["staleness_ticks"] = engine_.current_tick() - engine_.oldest_dirty_tick();
+  doc["staleness_violations"] = report_.staleness_violations;
+  doc["deadline_hits"] = report_.deadline_hits;
+  doc["shed"] = report_.shed;
+  doc["snapshots_written"] = report_.snapshots_written;
+  obs::json::Object ring;
+  ring["capacity"] = ring_.capacity();
+  ring["size"] = ring_.size();
+  ring["backpressure"] = backpressure_name(config_.backpressure);
+  doc["ring"] = std::move(ring);
+  obs::json::Object quarantine;
+  quarantine["total"] = quarantine_.total();
+  obs::json::Object by_reason;
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+    const auto count = quarantine_.counts()[i];
+    if (count != 0)
+      by_reason[reject_reason_name(static_cast<RejectReason>(i))] = count;
+  }
+  quarantine["by_reason"] = std::move(by_reason);
+  doc["quarantine"] = std::move(quarantine);
+  return obs::json::Value(std::move(doc)).dump();
 }
 
 }  // namespace fs::stream

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -70,6 +71,16 @@ struct ServeConfig {
   /// Sleep this long after a tick that polled and consumed nothing (idle
   /// tail following); 0 = busy loop (replay, tests).
   double idle_sleep_ms = 0.0;
+  /// On cooperative cancellation: instead of stopping with lines still in
+  /// the ring, drain the ring + engine, fsync the journal, and write a
+  /// final snapshot before returning (graceful SIGTERM semantics for a
+  /// network daemon; items still queued upstream of the source are the
+  /// client's to resend).
+  bool drain_on_cancel = false;
+  /// Called at the end of every tick, after durability. The fs::net server
+  /// hooks this to service durable-commit acknowledgements (it asks the
+  /// daemon to sync_journal() and publishes journaled_watermark()).
+  std::function<void(class ServeDaemon&)> after_tick;
   SourceOptions source_options;
   runtime::ExecutionContext* context = nullptr;
   util::Diagnostics* diagnostics = nullptr;
@@ -119,9 +130,28 @@ class ServeDaemon {
   /// passes this way; the daemon stays resumable in between.
   ServeReport run_for(std::uint64_t extra_ticks);
 
+  /// Drains the ring and the engine's dirty frontier, writes a final
+  /// snapshot, and refreshes the report — an explicit graceful stop for
+  /// callers that interleave run_for() chunks (the net soak does).
+  void finish();
+
   StreamEngine& engine() { return engine_; }
   const PoisonQuarantine& quarantine() const { return quarantine_; }
   const ServeReport& report() const { return report_; }
+
+  /// fsync barrier on the journal (no-op without a journal_dir). The
+  /// durable-commit path for network acks.
+  void sync_journal();
+  /// Ordinals strictly below this have their disposition frame in the
+  /// journal (or a snapshot); ring-resident lines are above it.
+  std::uint64_t journaled_watermark() const {
+    return next_ordinal_ - ring_.size();
+  }
+  std::size_t ring_size() const { return ring_.size(); }
+
+  /// Live engine/ring/quarantine stats as a compact JSON object (the
+  /// /streamz endpoint body).
+  std::string streamz_json() const;
 
   std::string journal_path() const;
   std::string snapshot_path() const;

@@ -12,6 +12,8 @@ const char* reject_reason_name(RejectReason reason) {
     case RejectReason::kOutOfRangeCoord: return "out_of_range";
     case RejectReason::kDuplicateEventId: return "duplicate_event_id";
     case RejectReason::kStaleTimestamp: return "stale_timestamp";
+    case RejectReason::kFrameCorrupt: return "frame_corrupt";
+    case RejectReason::kFrameMalformed: return "frame_malformed";
   }
   return "unknown";
 }

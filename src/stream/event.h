@@ -41,8 +41,11 @@ struct RawEvent {
 };
 
 /// Why an event was quarantined instead of applied. The first four mirror
-/// the batch loader's quarantine taxonomy; the last two are stream-only
-/// (they need ingestion state a batch load does not have).
+/// the batch loader's quarantine taxonomy; the next two are stream-only
+/// (they need ingestion state a batch load does not have); the last two are
+/// transport-level (the fs::net wire decoder rejected the frame before a
+/// line ever existed — the payload bytes are quarantined so the loss is
+/// accounted, never silent).
 enum class RejectReason {
   kShortLine,        // fewer than 5 fields
   kBadTimestamp,     // unparseable or impossible calendar date
@@ -50,9 +53,11 @@ enum class RejectReason {
   kOutOfRangeCoord,  // |lat| > 90 or |lng| > 180
   kDuplicateEventId, // explicit event id already accepted
   kStaleTimestamp,   // older than the watermark minus the lateness budget
+  kFrameCorrupt,     // wire frame failed its CRC32 check
+  kFrameMalformed,   // wire frame with bad magic/type or implausible length
 };
 
-inline constexpr std::size_t kRejectReasonCount = 6;
+inline constexpr std::size_t kRejectReasonCount = 8;
 
 const char* reject_reason_name(RejectReason reason);
 

@@ -1,7 +1,11 @@
 #include "stream/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "util/binary_io.h"
@@ -94,19 +98,21 @@ JournalWriter::JournalWriter(const std::string& path) : path_(path) {
   std::error_code ec;
   const auto existing = std::filesystem::file_size(path_, ec);
   const bool fresh = ec || existing < sizeof(kJournalHeader);
+  const int flags = O_WRONLY | O_CREAT | (fresh ? O_TRUNC : O_APPEND);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) throw IoError("cannot open journal for writing: " + path_);
   if (fresh) {
     // New (or hopelessly short) file: start from a clean header.
-    out_.open(path_, std::ios::binary | std::ios::trunc);
-    if (!out_) throw IoError("cannot open journal for writing: " + path_);
-    out_.write(kJournalHeader, sizeof(kJournalHeader));
-    out_.flush();
+    if (!util::write_all_eintr(fd_, kJournalHeader, sizeof(kJournalHeader)))
+      throw IoError("journal header write failed: " + path_);
     bytes_ = sizeof(kJournalHeader);
   } else {
-    out_.open(path_, std::ios::binary | std::ios::app);
-    if (!out_) throw IoError("cannot open journal for appending: " + path_);
     bytes_ = existing;
   }
-  if (!out_) throw IoError("journal header write failed: " + path_);
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 void JournalWriter::append_frame(const std::string& payload) {
@@ -122,14 +128,13 @@ void JournalWriter::append_frame(const std::string& payload) {
 
   const std::size_t writable =
       fp::truncate("stream.journal.torn_write", frame.size());
-  out_.write(frame.data(), static_cast<std::streamsize>(writable));
-  out_.flush();
+  if (!util::write_all_eintr(fd_, frame.data(), writable))
+    throw IoError("journal append failed: " + path_);
   bytes_ += writable;
   if (writable != frame.size())
     throw IoError("journal torn write injected at " + path_ + " (wrote " +
                   std::to_string(writable) + "/" +
                   std::to_string(frame.size()) + " bytes)");
-  if (!out_) throw IoError("journal append failed: " + path_);
 }
 
 void JournalWriter::append_accepted(std::uint64_t source_index,
@@ -162,8 +167,12 @@ void JournalWriter::append_shed(std::uint64_t source_index,
 }
 
 void JournalWriter::flush() {
-  out_.flush();
-  if (!out_) throw IoError("journal flush failed: " + path_);
+  // Appends are unbuffered write(2) calls: nothing userspace-side to flush.
+  // Kept as the semantic point where a tick's frames are "handed off".
+}
+
+void JournalWriter::sync() {
+  if (!util::fsync_eintr(fd_)) throw IoError("journal fsync failed: " + path_);
 }
 
 RecoveredJournal recover_journal(const std::string& path) {
@@ -248,7 +257,10 @@ void save_snapshot(const std::string& path, const Snapshot& snapshot) {
       if (!out) throw IoError("cannot open snapshot tmp: " + tmp);
       util::BinaryWriter w(out);
       w.tag("FSSN");
-      w.u64(1);  // version
+      // Version 2 widened quarantine_counts for the transport-level reject
+      // reasons (frame_corrupt/frame_malformed). v1 snapshots are refused by
+      // load_snapshot, which falls back to a full journal replay.
+      w.u64(2);
       w.crc_begin();
       w.u64(snapshot.config_fingerprint);
       w.u64(snapshot.consumed_lines);
@@ -270,7 +282,14 @@ void save_snapshot(const std::string& path, const Snapshot& snapshot) {
       out.flush();
       if (!out) throw IoError("snapshot write failed: " + tmp);
     }
+    // Durability barrier: the tmp's bytes must be on disk before the rename
+    // publishes it, and the rename itself is only durable once the parent
+    // directory's entry is synced — otherwise a crash can leave a published
+    // name pointing at unwritten data, or silently revert to the old file.
+    if (!util::fsync_path(tmp)) throw IoError("snapshot fsync failed: " + tmp);
     std::filesystem::rename(tmp, path);
+    if (!util::fsync_parent_dir(path))
+      throw IoError("snapshot directory fsync failed for: " + path);
   } catch (...) {
     std::error_code ec;
     std::filesystem::remove(tmp, ec);
@@ -285,7 +304,7 @@ std::optional<Snapshot> load_snapshot(const std::string& path,
   try {
     util::BinaryReader r(in);
     r.expect_tag("FSSN");
-    if (r.u64() != 1) return std::nullopt;
+    if (r.u64() != 2) return std::nullopt;
     r.crc_begin();
     Snapshot snapshot;
     snapshot.config_fingerprint = r.u64();

@@ -27,9 +27,9 @@
 
 #include <array>
 #include <cstdint>
-#include <fstream>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stream/event.h"
@@ -56,15 +56,26 @@ struct JournalRecord {
 /// new or empty) and appends one frame per consumed line. The
 /// stream.journal.torn_write failpoint (truncate action) cuts a frame short
 /// and throws IoError, simulating a crash mid-write.
+///
+/// Writes go straight to a file descriptor through the EINTR-safe helpers
+/// in util/binary_io — no stdio buffering — so after append_* returns the
+/// frame bytes are in the kernel, and sync() (fsync) is the only remaining
+/// durability barrier. The daemon calls sync() before acknowledging a
+/// commit to a network client.
 class JournalWriter {
  public:
   explicit JournalWriter(const std::string& path);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
 
   void append_accepted(std::uint64_t source_index, const RawEvent& event);
   void append_quarantined(std::uint64_t source_index, RejectReason reason,
                           std::string_view line);
   void append_shed(std::uint64_t source_index, std::string_view line);
   void flush();
+  /// fsync(2) barrier: everything appended so far survives power loss.
+  void sync();
 
   std::uint64_t bytes() const { return bytes_; }
   const std::string& path() const { return path_; }
@@ -73,7 +84,7 @@ class JournalWriter {
   void append_frame(const std::string& payload);
 
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;
   std::uint64_t bytes_ = 0;
 };
 

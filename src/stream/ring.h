@@ -15,9 +15,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "stream/event.h"
 
 namespace fs::stream {
 
@@ -29,10 +32,13 @@ enum class Backpressure {
 
 const char* backpressure_name(Backpressure policy);
 
-/// A wire line stamped with its consumed-line ordinal.
+/// A wire line stamped with its consumed-line ordinal. `poison` marks a
+/// transport-level reject (CRC/framing failure from a socket source) that
+/// must be quarantined without ever being parsed as a check-in.
 struct StampedLine {
   std::uint64_t ordinal = 0;
   std::string line;
+  std::optional<RejectReason> poison;
 };
 
 /// Fixed-capacity circular buffer of stamped lines.

@@ -1,8 +1,11 @@
 #include "stream/source.h"
 
-#include <fstream>
-#include <sstream>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <fstream>
+
+#include "util/binary_io.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -12,17 +15,16 @@ namespace {
 
 namespace fp = util::failpoint;
 
-/// Opens `path` for reading, backing off through the RetryPolicy on real or
+/// Opens `path` read-only, backing off through the RetryPolicy on real or
 /// injected (stream.source.open_fail) failures. Throws IoError only once
-/// the attempt budget is exhausted.
-std::ifstream open_with_retry(const std::string& path,
-                              const SourceOptions& options,
-                              std::uint64_t& open_failures) {
+/// the attempt budget is exhausted. Returns an owning fd.
+int open_fd_with_retry(const std::string& path, const SourceOptions& options,
+                       std::uint64_t& open_failures) {
   runtime::Retrier retrier(options.open_retry);
   while (true) {
     if (!fp::fail("stream.source.open_fail")) {
-      std::ifstream in(path, std::ios::binary);
-      if (in) return in;
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd >= 0) return fd;
     }
     ++open_failures;
     if (!retrier.retry())
@@ -41,17 +43,19 @@ bool is_blank(const std::string& line) {
 FileTailSource::FileTailSource(std::string path, SourceOptions options)
     : path_(std::move(path)), options_(options) {}
 
-std::size_t FileTailSource::poll(std::size_t max_lines,
-                                 std::vector<std::string>& out) {
-  auto in = open_with_retry(path_, options_, open_failures_);
-  in.seekg(static_cast<std::streamoff>(offset_));
-  if (in) {
-    std::ostringstream chunk;
-    chunk << in.rdbuf();
-    std::string content = std::move(chunk).str();
-    offset_ += content.size();
-    pending_ += content;
+std::size_t FileTailSource::poll(std::size_t max_items,
+                                 std::vector<SourceItem>& out) {
+  const int fd = open_fd_with_retry(path_, options_, open_failures_);
+  if (::lseek(fd, static_cast<off_t>(offset_), SEEK_SET) >= 0) {
+    char buf[1 << 16];
+    while (true) {
+      const ssize_t n = util::read_eintr(fd, buf, sizeof buf);
+      if (n <= 0) break;  // EOF or hard error; the next poll retries
+      pending_.append(buf, static_cast<std::size_t>(n));
+      offset_ += static_cast<std::uint64_t>(n);
+    }
   }
+  ::close(fd);
   // Cut complete lines off the pending buffer; a trailing fragment without
   // its newline stays pending (torn-line handling).
   std::size_t start = 0;
@@ -71,8 +75,8 @@ std::size_t FileTailSource::poll(std::size_t max_lines,
   pending_.erase(0, start);
 
   std::size_t emitted = 0;
-  while (emitted < max_lines && !ready_.empty()) {
-    out.push_back(std::move(ready_.front()));
+  while (emitted < max_items && !ready_.empty()) {
+    out.push_back(SourceItem{std::move(ready_.front()), std::nullopt});
     ready_.pop_front();
     ++emitted;
   }
@@ -84,26 +88,38 @@ ReplaySource::ReplaySource(std::string path, SourceOptions options)
 
 void ReplaySource::ensure_loaded() {
   if (loaded_) return;
-  auto in = open_with_retry(path_, options_, open_failures_);
-  std::string line;
-  while (std::getline(in, line)) {
+  const int fd = open_fd_with_retry(path_, options_, open_failures_);
+  std::string content;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = util::read_eintr(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::size_t start = 0;
+  while (start < content.size()) {
+    auto nl = content.find('\n', start);
+    if (nl == std::string::npos) nl = content.size();
+    std::string line = content.substr(start, nl - start);
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
     if (is_blank(line)) continue;
-    lines_.push_back(line);
+    lines_.push_back(std::move(line));
   }
   loaded_ = true;
 }
 
-std::size_t ReplaySource::poll(std::size_t max_lines,
-                               std::vector<std::string>& out) {
+std::size_t ReplaySource::poll(std::size_t max_items,
+                               std::vector<SourceItem>& out) {
   ensure_loaded();
   while (skip_remaining_ > 0 && next_ < lines_.size()) {
     --skip_remaining_;
     ++next_;
   }
   std::size_t emitted = 0;
-  while (emitted < max_lines && next_ < lines_.size()) {
-    out.push_back(lines_[next_]);
+  while (emitted < max_items && next_ < lines_.size()) {
+    out.push_back(SourceItem{lines_[next_], std::nullopt});
     ++next_;
     ++emitted;
   }

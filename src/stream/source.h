@@ -1,48 +1,70 @@
 // Pluggable event sources feeding the stream daemon.
 //
-// A source hands the daemon raw wire lines; the daemon owns validation,
-// journaling, and application. Two implementations:
+// A source hands the daemon raw wire items; the daemon owns validation,
+// journaling, and application. An item is usually a complete check-in line,
+// but transport-level sources (the fs::net socket source) can also emit
+// *poisoned* items — frames whose bytes failed CRC or framing checks before
+// a line ever existed. Poisoned items still consume an ordinal and are
+// journaled as quarantined, so corrupt network input is lost-but-accounted,
+// never silently dropped.
 //
-//   * FileTailSource — follows a growing file by byte offset, emitting only
-//     *complete* lines: a torn tail (a line whose newline has not landed
-//     yet) stays buffered until the writer finishes it, so a half-written
-//     record is never parsed, quarantined, or journaled.
+// Implementations here:
+//
+//   * FileTailSource — follows a growing file by byte offset (fd-based,
+//     EINTR-safe reads), emitting only *complete* lines: a torn tail (a
+//     line whose newline has not landed yet) stays buffered until the
+//     writer finishes it, so a half-written record is never parsed,
+//     quarantined, or journaled.
 //   * ReplaySource — replays a SNAP check-in file in file order (NOT
 //     time-sorted: the batch loader interns POIs in record order, and
 //     convergence-to-batch requires the stream to see the same order). The
 //     event rate comes from the daemon's per-tick poll budget.
 //
-// Both filter blank lines before they count: consumed-line ordinals (the
-// resume watermark) enumerate non-blank lines only, so skip_lines(n) after
-// recovery lands on exactly the first unconsumed record. Opens go through
-// the stream.source.open_fail failpoint under a RetryPolicy, so transient
-// open failures back off and retry instead of killing the daemon.
+// (fs::net adds SocketSource, which drains the network server's decoded
+// frame queue through this same interface.)
+//
+// All sources filter blank lines before they count: consumed-line ordinals
+// (the resume watermark) enumerate non-blank items only, so skip_lines(n)
+// after recovery lands on exactly the first unconsumed record. Opens go
+// through the stream.source.open_fail failpoint under a RetryPolicy, so
+// transient open failures back off and retry instead of killing the daemon.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "stream/event.h"
 #include "util/runtime.h"
 
 namespace fs::stream {
+
+/// One unit of source output: a wire line, or a poisoned placeholder for
+/// transport-level garbage (CRC failure, malformed frame). For poisoned
+/// items `line` holds a sanitized description of the rejected bytes — it is
+/// journaled and quarantined verbatim, but never parsed as a check-in.
+struct SourceItem {
+  std::string line;
+  std::optional<RejectReason> poison;
+};
 
 class EventSource {
  public:
   virtual ~EventSource() = default;
 
-  /// Appends up to `max_lines` complete non-blank lines to `out`; returns
-  /// how many were appended. May legitimately return 0 (nothing new yet).
-  virtual std::size_t poll(std::size_t max_lines,
-                           std::vector<std::string>& out) = 0;
+  /// Appends up to `max_items` items to `out`; returns how many were
+  /// appended. May legitimately return 0 (nothing new yet).
+  virtual std::size_t poll(std::size_t max_items,
+                           std::vector<SourceItem>& out) = 0;
 
-  /// True when the source can never produce another line (replay reached
-  /// end of file). A tail is never exhausted — the file may still grow.
+  /// True when the source can never produce another item (replay reached
+  /// end of file). A tail or socket is never exhausted by itself.
   virtual bool exhausted() const = 0;
 
-  /// Skips the next `n` non-blank lines (resume: n = consumed-line count
-  /// recovered from snapshot + journal).
+  /// Skips the next `n` items (resume: n = consumed-line count recovered
+  /// from snapshot + journal).
   virtual void skip_lines(std::uint64_t n) = 0;
 };
 
@@ -55,8 +77,8 @@ class FileTailSource : public EventSource {
  public:
   explicit FileTailSource(std::string path, SourceOptions options = {});
 
-  std::size_t poll(std::size_t max_lines,
-                   std::vector<std::string>& out) override;
+  std::size_t poll(std::size_t max_items,
+                   std::vector<SourceItem>& out) override;
   bool exhausted() const override { return false; }
   void skip_lines(std::uint64_t n) override { skip_remaining_ += n; }
 
@@ -78,8 +100,8 @@ class ReplaySource : public EventSource {
  public:
   explicit ReplaySource(std::string path, SourceOptions options = {});
 
-  std::size_t poll(std::size_t max_lines,
-                   std::vector<std::string>& out) override;
+  std::size_t poll(std::size_t max_items,
+                   std::vector<SourceItem>& out) override;
   bool exhausted() const override { return loaded_ && next_ >= lines_.size(); }
   void skip_lines(std::uint64_t n) override { skip_remaining_ += n; }
 

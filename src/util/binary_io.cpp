@@ -1,5 +1,10 @@
 #include "util/binary_io.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <libgen.h>
+#include <unistd.h>
+
 #include <array>
 #include <cstring>
 #include <stdexcept>
@@ -7,6 +12,65 @@
 #include "util/error.h"
 
 namespace fs::util {
+
+ssize_t read_eintr(int fd, void* buf, std::size_t bytes) {
+  while (true) {
+    const ssize_t n = ::read(fd, buf, bytes);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t write_eintr(int fd, const void* buf, std::size_t bytes) {
+  while (true) {
+    const ssize_t n = ::write(fd, buf, bytes);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+bool write_all_eintr(int fd, const void* buf, std::size_t bytes) {
+  const char* cursor = static_cast<const char*>(buf);
+  std::size_t remaining = bytes;
+  while (remaining > 0) {
+    const ssize_t n = write_eintr(fd, cursor, remaining);
+    if (n < 0) return false;
+    cursor += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int accept_eintr(int fd, struct sockaddr* addr, socklen_t* addr_len) {
+  while (true) {
+    const int conn = ::accept(fd, addr, addr_len);
+    if (conn >= 0 || errno != EINTR) return conn;
+  }
+}
+
+bool fsync_eintr(int fd) {
+  while (true) {
+    if (::fsync(fd) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = fsync_eintr(fd);
+  ::close(fd);
+  return ok;
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  // dirname may modify its argument; give it a scratch copy.
+  std::string scratch = path;
+  const char* dir = ::dirname(scratch.data());
+  const int fd = ::open(dir, O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = fsync_eintr(fd);
+  ::close(fd);
+  return ok;
+}
 
 namespace {
 

@@ -12,6 +12,9 @@
 // deserializing garbage.
 #pragma once
 
+#include <sys/socket.h>
+#include <sys/types.h>
+
 #include <cstdint>
 #include <istream>
 #include <ostream>
@@ -19,6 +22,42 @@
 #include <vector>
 
 namespace fs::util {
+
+// ---- EINTR-safe POSIX I/O ----------------------------------------------
+// Raw read/write/accept return EINTR whenever a signal lands mid-call —
+// which, in a process that installs SIGINT/SIGTERM handlers (the CLI does),
+// means every unwrapped syscall is a latent truncated read or lost accept.
+// All fd-based I/O in this repo (stream journal, tail source, fs::net
+// sockets) goes through these helpers.
+
+/// read(2), retried on EINTR. Returns bytes read (0 = EOF) or -1 with errno
+/// set to the first non-EINTR error.
+ssize_t read_eintr(int fd, void* buf, std::size_t bytes);
+
+/// write(2), retried on EINTR. May still write short (not an error);
+/// callers that need the full buffer use write_all_eintr.
+ssize_t write_eintr(int fd, const void* buf, std::size_t bytes);
+
+/// Writes the whole buffer, looping over short writes and EINTR. Returns
+/// false (errno set) on the first hard error.
+bool write_all_eintr(int fd, const void* buf, std::size_t bytes);
+
+/// accept(2), retried on EINTR. Returns the new fd or -1 with errno set to
+/// the first non-EINTR error (EAGAIN/EWOULDBLOCK included — callers on
+/// non-blocking listeners check for it).
+int accept_eintr(int fd, struct sockaddr* addr, socklen_t* addr_len);
+
+/// fsync(2), retried on EINTR. Returns false (errno set) on hard error.
+bool fsync_eintr(int fd);
+
+/// Opens `path` read-only, fsyncs it, closes it. For durability barriers on
+/// files written through buffered streams (e.g. a snapshot tmp before its
+/// atomic rename).
+bool fsync_path(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a just-renamed entry
+/// durable (rename alone only updates the in-memory dirent).
+bool fsync_parent_dir(const std::string& path);
 
 /// CRC-32 (IEEE 802.3, the zlib polynomial), one-shot over a buffer.
 std::uint32_t crc32(const void* data, std::size_t bytes,

@@ -1,10 +1,13 @@
 #include "util/failpoint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "util/strings.h"
@@ -20,15 +23,23 @@ struct State {
   bool active = false;
 };
 
-// Single-threaded by design, like the logger: the registry is mutated by
-// tests/benches before the code under test runs.
+// The registry is shared: fs::net evaluates failpoints from the server poll
+// thread and the feed-client thread while chaos harnesses (re)activate them
+// from the main thread between daemon incarnations. A mutex guards the map;
+// the inactive fast path is a single relaxed atomic load so call sites in
+// hot loops stay free when nothing is activated.
+std::mutex& registry_mutex() {
+  static std::mutex instance;
+  return instance;
+}
+
 std::map<std::string, State>& registry() {
   static std::map<std::string, State> instance;
   return instance;
 }
 
-std::size_t& active_count() {
-  static std::size_t count = 0;
+std::atomic<std::size_t>& active_count() {
+  static std::atomic<std::size_t> count{0};
   return count;
 }
 
@@ -42,39 +53,45 @@ bool parse_action(std::string_view text, Action& out) {
 }
 
 void ensure_env_init() {
-  static bool done = false;
-  if (!done) {
-    done = true;
+  // Magic static (thread-safe once-init); a plain bool flag here would be a
+  // data race on concurrent first evaluations.
+  static const bool done = [] {
     init_from_env();
-  }
+    return true;
+  }();
+  (void)done;
 }
 
-/// Evaluates a failpoint: returns the action if it fired, nullptr if not.
-const Config* evaluate(const char* name) {
+/// Evaluates a failpoint: returns the action if it fired, nullopt if not.
+/// Latency actions sleep (outside the lock) and report "not fired".
+std::optional<Action> evaluate(const char* name) {
   ensure_env_init();
-  if (active_count() == 0) return nullptr;
-  const auto it = registry().find(name);
-  if (it == registry().end() || !it->second.active) return nullptr;
-  State& state = it->second;
-  const auto evaluation = static_cast<std::int64_t>(state.evaluations++);
-  if (evaluation < state.config.skip) return nullptr;
-  if (state.config.limit >= 0 &&
-      static_cast<std::int64_t>(state.triggers) >= state.config.limit)
-    return nullptr;
-  ++state.triggers;
-  if (state.config.action == Action::kLatency) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(state.config.latency_ms));
-    return nullptr;  // latency delays the call site but never fails it
+  if (active_count().load(std::memory_order_relaxed) == 0) return std::nullopt;
+  int latency_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(name);
+    if (it == registry().end() || !it->second.active) return std::nullopt;
+    State& state = it->second;
+    const auto evaluation = static_cast<std::int64_t>(state.evaluations++);
+    if (evaluation < state.config.skip) return std::nullopt;
+    if (state.config.limit >= 0 &&
+        static_cast<std::int64_t>(state.triggers) >= state.config.limit)
+      return std::nullopt;
+    ++state.triggers;
+    if (state.config.action != Action::kLatency) return state.config.action;
+    latency_ms = state.config.latency_ms;
   }
-  return &state.config;
+  std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+  return std::nullopt;  // latency delays the call site but never fails it
 }
 
 }  // namespace
 
 void activate(const std::string& name, const Config& config) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   State& state = registry()[name];
-  if (!state.active) ++active_count();
+  if (!state.active) active_count().fetch_add(1, std::memory_order_relaxed);
   state.config = config;
   state.active = true;
 }
@@ -87,26 +104,32 @@ void activate(const std::string& name, Action action, int limit) {
 }
 
 void deactivate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   const auto it = registry().find(name);
   if (it != registry().end() && it->second.active) {
     it->second.active = false;
-    --active_count();
+    active_count().fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   registry().clear();
-  active_count() = 0;
+  active_count().store(0, std::memory_order_relaxed);
 }
 
-bool any_active() { return active_count() > 0; }
+bool any_active() {
+  return active_count().load(std::memory_order_relaxed) > 0;
+}
 
 std::uint64_t evaluations(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   const auto it = registry().find(name);
   return it == registry().end() ? 0 : it->second.evaluations;
 }
 
 std::uint64_t triggers(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   const auto it = registry().find(name);
   return it == registry().end() ? 0 : it->second.triggers;
 }
@@ -130,6 +153,22 @@ const std::vector<KnownFailpoint>& known_failpoints() {
         {"data.load.open", "error",
          "fail opening the check-in/edge file; retried under the loader's "
          "RetryPolicy before surfacing IoError"},
+        {"net.accept.fail", "error",
+         "fail one accept(2) on the fs::net listener; counted in "
+         "net.accept_failures_total, the listener keeps polling"},
+        {"net.conn.drop", "error",
+         "drop an established fs::net connection mid-stream; the peer sees "
+         "a reset and the feed client reconnects under its RetryPolicy"},
+        {"net.feed.stall", "latency",
+         "stall the feed client before a send, simulating a slow peer; the "
+         "server's idle deadline reaps connections that stall too long"},
+        {"net.feed.torn_send", "truncate",
+         "cut a feed-client frame short mid-send then disconnect (torn "
+         "write); the server discards the partial frame and the client "
+         "resends from its acknowledged watermark"},
+        {"net.write.torn", "truncate",
+         "cut an fs::net server write short (torn response); the connection "
+         "is closed rather than left desynchronized"},
         {"ml.svm.nan", "nan",
          "poison the SVM's input features with a non-finite value; fit() "
          "throws NumericError and phase 2 keeps its last-good graph"},
@@ -189,20 +228,17 @@ void init_from_env() {
 }
 
 bool fail(const char* name) {
-  const Config* fired = evaluate(name);
-  return fired != nullptr && fired->action == Action::kError;
+  return evaluate(name) == Action::kError;
 }
 
 double corrupt(const char* name, double value) {
-  const Config* fired = evaluate(name);
-  if (fired != nullptr && fired->action == Action::kNan)
+  if (evaluate(name) == Action::kNan)
     return std::numeric_limits<double>::quiet_NaN();
   return value;
 }
 
 std::size_t truncate(const char* name, std::size_t size) {
-  const Config* fired = evaluate(name);
-  if (fired != nullptr && fired->action == Action::kTruncate) return size / 2;
+  if (evaluate(name) == Action::kTruncate) return size / 2;
   return size;
 }
 

@@ -1,0 +1,473 @@
+// fs::net unit + integration tests: frame codec (including the typed
+// decode-failure contract), the minimal HTTP head parser, and the live
+// NetServer — hello/commit/ack semantics, poison routing for corrupt and
+// unframeable bytes, connection-cap shedding, idle reaping, scrape
+// endpoints, and the retrying feed client.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/feed.h"
+#include "net/frame.h"
+#include "net/http.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "stream/event.h"
+#include "util/binary_io.h"
+#include "util/error.h"
+
+namespace fs::net {
+namespace {
+
+// ---------------------------------------------------------------- frames
+
+TEST(Frame, RoundtripsSingleAndBackToBackFrames) {
+  const std::string wire = encode_frame(FrameType::kCheckin, "line one") +
+                           encode_frame(FrameType::kCommit, "") +
+                           encode_frame(FrameType::kCheckin, "line two");
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kCheckin);
+  EXPECT_EQ(frame.payload, "line one");
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kCommit);
+  EXPECT_TRUE(frame.payload.empty());
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.payload, "line two");
+  EXPECT_EQ(decoder.next(frame), DecodeStatus::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, DecodesAcrossByteAtATimeFeeds) {
+  const std::string wire = encode_frame(FrameType::kCheckin, "split me");
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.feed(wire.data() + i, 1);
+    ASSERT_EQ(decoder.next(frame), DecodeStatus::kNeedMore) << "byte " << i;
+  }
+  decoder.feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.payload, "split me");
+}
+
+TEST(Frame, HelloAndAckCarryU64Payloads) {
+  const std::string wire = encode_frame_u64(FrameType::kAck, 123456789ULL);
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kAck);
+  ASSERT_TRUE(frame_u64(frame).has_value());
+  EXPECT_EQ(*frame_u64(frame), 123456789ULL);
+
+  Frame odd;
+  odd.payload = "abc";  // not 8 bytes
+  EXPECT_FALSE(frame_u64(odd).has_value());
+}
+
+TEST(Frame, CrcMismatchIsResyncableAndSkipsExactlyTheBadFrame) {
+  std::string corrupt = encode_frame(FrameType::kCheckin, "poison me");
+  corrupt[kFrameHeaderBytes] ^= 0x40;  // flip a payload bit
+  const std::string wire =
+      corrupt + encode_frame(FrameType::kCheckin, "still fine");
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(decoder.error(), FrameError::kCrcMismatch);
+  ASSERT_TRUE(decoder.can_resync());
+  decoder.resync();
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kFrame);
+  EXPECT_EQ(frame.payload, "still fine");
+}
+
+TEST(Frame, BadMagicAndBadTypeAndOversizedAreUnframeable) {
+  {
+    FrameDecoder decoder;
+    decoder.feed("XXXX0123456789ab", 16);
+    Frame frame;
+    ASSERT_EQ(decoder.next(frame), DecodeStatus::kError);
+    EXPECT_EQ(decoder.error(), FrameError::kBadMagic);
+    EXPECT_FALSE(decoder.can_resync());
+  }
+  {
+    const std::string wire = encode_frame_u64(FrameType::kAck, 0);
+    std::string bad = wire;
+    const std::uint32_t type = 99;
+    std::memcpy(bad.data() + 4, &type, sizeof type);
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    Frame frame;
+    ASSERT_EQ(decoder.next(frame), DecodeStatus::kError);
+    EXPECT_EQ(decoder.error(), FrameError::kBadType);
+    EXPECT_FALSE(decoder.can_resync());
+  }
+  {
+    // A hostile length field alone must error before any payload arrives:
+    // the bound is what stops it allocating unbounded memory.
+    std::string header = encode_frame(FrameType::kCheckin, "x");
+    header.resize(kFrameHeaderBytes);
+    const std::uint32_t huge =
+        static_cast<std::uint32_t>(kMaxFramePayload + 1);
+    std::memcpy(header.data() + 8, &huge, sizeof huge);
+    FrameDecoder decoder;
+    decoder.feed(header.data(), header.size());
+    Frame frame;
+    ASSERT_EQ(decoder.next(frame), DecodeStatus::kError);
+    EXPECT_EQ(decoder.error(), FrameError::kOversized);
+    EXPECT_FALSE(decoder.can_resync());
+  }
+}
+
+// ------------------------------------------------------------------ http
+
+TEST(Http, ParsesRequestHeadAndStripsQuery) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  const std::string head =
+      "GET /metrics?format=prometheus HTTP/1.1\r\nHost: x\r\n\r\ntrailing";
+  ASSERT_EQ(parse_http_request(head, request, consumed),
+            HttpParseStatus::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+  EXPECT_EQ(head.substr(consumed), "trailing");
+}
+
+TEST(Http, IncompleteHeadNeedsMoreAndGarbageErrors) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse_http_request("GET /healthz HTTP/1.1\r\nHost:", request,
+                               consumed),
+            HttpParseStatus::kNeedMore);
+  EXPECT_EQ(parse_http_request("no spaces here\r\n\r\n", request, consumed),
+            HttpParseStatus::kError);
+}
+
+TEST(Http, ResponseCarriesLengthAndConnectionClose) {
+  const std::string response = http_response(200, "text/plain", "hi\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 3), "hi\n");
+}
+
+// ------------------------------------------------------------- server
+
+/// A hand-driven feed peer: sends raw bytes, decodes reply frames.
+struct RawClient {
+  Fd fd;
+  FrameDecoder decoder;
+
+  explicit RawClient(std::uint16_t port)
+      : fd(connect_tcp("127.0.0.1", port)) {
+    set_recv_timeout(fd.get(), 5000.0);
+  }
+
+  void send(std::string_view bytes) {
+    ASSERT_TRUE(util::write_all_eintr(fd.get(), bytes.data(), bytes.size()));
+  }
+
+  /// Blocks (bounded by the socket timeout) until one frame arrives.
+  Frame read_frame() {
+    Frame frame;
+    while (true) {
+      if (decoder.next(frame) == DecodeStatus::kFrame) return frame;
+      char buf[512];
+      const ssize_t n = util::read_eintr(fd.get(), buf, sizeof buf);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed while waiting for a frame";
+        return frame;
+      }
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the peer closes the connection (bounded wait).
+  bool reads_eof() {
+    char buf[512];
+    while (true) {
+      const ssize_t n = util::read_eintr(fd.get(), buf, sizeof buf);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout or error, not a clean close
+    }
+  }
+};
+
+NetConfig test_config() {
+  NetConfig config;
+  config.poll_interval_ms = 2.0;
+  return config;
+}
+
+/// Drains the server until `want` items arrive (bounded wait).
+std::vector<stream::SourceItem> drain_items(NetServer& server,
+                                            std::size_t want) {
+  std::vector<stream::SourceItem> items;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (items.size() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (server.drain(want - items.size(), items) == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return items;
+}
+
+std::string http_exchange(std::uint16_t port, const std::string& head) {
+  Fd fd = connect_tcp("127.0.0.1", port);
+  set_recv_timeout(fd.get(), 5000.0);
+  EXPECT_TRUE(util::write_all_eintr(fd.get(), head.data(), head.size()));
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = util::read_eintr(fd.get(), buf, sizeof buf);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(NetServer, HelloEnqueueCommitAckRoundtrip) {
+  NetServer server(test_config());
+  server.start();
+  RawClient client(server.port());
+
+  client.send(encode_frame(FrameType::kHello, ""));
+  Frame hello = client.read_frame();
+  ASSERT_EQ(hello.type, FrameType::kHello);
+  EXPECT_EQ(frame_u64(hello).value_or(99), 0u);  // nothing enqueued yet
+
+  client.send(encode_frame(FrameType::kCheckin, "1\t2010-10-19T23:55:27Z\t30.2\t-97.7\t42"));
+  client.send(encode_frame(FrameType::kCheckin, "2\t2010-10-19T23:58:00Z\t30.3\t-97.6\t43"));
+  client.send(encode_frame(FrameType::kCommit, ""));
+
+  // Daemon side: the items arrive poison-free, the commit is pending until
+  // we publish a durable watermark that covers it, then the ack flows.
+  const auto items = drain_items(server, 2);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_FALSE(items[0].poison.has_value());
+  EXPECT_NE(items[0].line.find("\t42"), std::string::npos);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!server.commit_pending() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(server.commit_pending());
+  server.publish_durable(2);
+
+  Frame ack = client.read_frame();
+  ASSERT_EQ(ack.type, FrameType::kAck);
+  EXPECT_EQ(frame_u64(ack).value_or(0), 2u);
+
+  // A second session resumes past everything already enqueued.
+  RawClient resumed(server.port());
+  resumed.send(encode_frame(FrameType::kHello, ""));
+  EXPECT_EQ(frame_u64(resumed.read_frame()).value_or(0), 2u);
+  EXPECT_EQ(server.stats().commits_acked, 1u);
+  server.stop();
+}
+
+TEST(NetServer, CrcCorruptFrameIsPoisonedAndStreamResyncs) {
+  NetServer server(test_config());
+  server.start();
+  RawClient client(server.port());
+
+  std::string corrupt = encode_frame(FrameType::kCheckin, "garbled payload");
+  corrupt[kFrameHeaderBytes + 2] ^= 0x08;
+  client.send(encode_frame(FrameType::kCheckin, "before"));
+  client.send(corrupt);
+  client.send(encode_frame(FrameType::kCheckin, "after"));
+
+  const auto items = drain_items(server, 3);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_FALSE(items[0].poison.has_value());
+  ASSERT_TRUE(items[1].poison.has_value());
+  EXPECT_EQ(*items[1].poison, stream::RejectReason::kFrameCorrupt);
+  EXPECT_FALSE(items[2].poison.has_value());
+  EXPECT_EQ(items[2].line, "after");
+  EXPECT_EQ(server.stats().frames_rejected, 1u);
+  server.stop();
+}
+
+TEST(NetServer, UnframeableBytesArePoisonedAndTheConnectionCloses) {
+  NetServer server(test_config());
+  server.start();
+  RawClient client(server.port());
+
+  // A valid hello marks the connection as feed protocol; the garbage after
+  // it has no recoverable frame boundary.
+  client.send(encode_frame(FrameType::kHello, ""));
+  (void)client.read_frame();
+  client.send("ZZZZ this is not a frame and never will be");
+
+  const auto items = drain_items(server, 1);
+  ASSERT_EQ(items.size(), 1u);
+  ASSERT_TRUE(items[0].poison.has_value());
+  EXPECT_EQ(*items[0].poison, stream::RejectReason::kFrameMalformed);
+  EXPECT_TRUE(client.reads_eof());
+  server.stop();
+}
+
+TEST(NetServer, ShedsConnectionsOverTheCap) {
+  NetConfig config = test_config();
+  config.max_connections = 1;
+  NetServer server(config);
+  server.start();
+
+  RawClient first(server.port());
+  first.send(encode_frame(FrameType::kHello, ""));
+  (void)first.read_frame();  // established and counted
+
+  RawClient second(server.port());
+  EXPECT_TRUE(second.reads_eof()) << "over-cap connection was not shed";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().connections_shed == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(server.stats().connections_shed, 1u);
+  EXPECT_EQ(server.stats().connections_total, 1u);
+  server.stop();
+}
+
+TEST(NetServer, ReapsIdlePeers) {
+  NetConfig config = test_config();
+  config.idle_timeout_ms = 50.0;
+  NetServer server(config);
+  server.start();
+
+  RawClient slowloris(server.port());
+  EXPECT_TRUE(slowloris.reads_eof()) << "stalled peer was never reaped";
+  EXPECT_GE(server.stats().connections_reaped, 1u);
+  server.stop();
+}
+
+TEST(NetServer, ServesScrapeEndpoints) {
+  NetServer server(test_config());
+  server.start();
+  server.publish_streamz("{\"ticks\":7}");
+  const std::uint16_t port = server.port();
+
+  const std::string health = http_exchange(
+      port, "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  const std::string streamz = http_exchange(
+      port, "GET /streamz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(streamz.find("\"ticks\":7"), std::string::npos);
+  EXPECT_NE(streamz.find("\"net\":"), std::string::npos);
+
+  const std::string metrics = http_exchange(
+      port, "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+
+  const std::string missing = http_exchange(
+      port, "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string put = http_exchange(
+      port, "PUT /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(put.find("405"), std::string::npos);
+  EXPECT_GE(server.stats().http_requests, 5u);
+  server.stop();
+}
+
+TEST(NetServer, BoundsHttpHeaderFloods) {
+  NetConfig config = test_config();
+  config.max_http_header_bytes = 256;
+  NetServer server(config);
+  server.start();
+  const std::string flood =
+      "GET /healthz HTTP/1.1\r\nX-Filler: " + std::string(1024, 'a');
+  const std::string response = http_exchange(server.port(), flood);
+  EXPECT_NE(response.find("431"), std::string::npos);
+  server.stop();
+}
+
+// --------------------------------------------------------------- feed
+
+TEST(Feed, FeedsLinesAndBlocksUntilDurableAck) {
+  NetServer server(test_config());
+  server.start();
+
+  const std::vector<std::string> lines = {"l0", "l1", "l2", "l3", "l4"};
+  FeedOptions options;
+  options.port = server.port();
+  options.retry.max_attempts = 5;
+  options.retry.backoff_ms = 5.0;
+
+  FeedReport report;
+  std::string error;
+  std::thread client([&] {
+    try {
+      report = feed_lines(lines, options);
+    } catch (const Error& e) {
+      error = e.what();
+    }
+  });
+
+  const auto items = drain_items(server, lines.size());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!server.commit_pending() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.publish_durable(lines.size());
+  client.join();
+
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(items.size(), lines.size());
+  EXPECT_EQ(items[4].line, "l4");
+  EXPECT_TRUE(report.committed);
+  EXPECT_EQ(report.lines_total, lines.size());
+  EXPECT_EQ(report.lines_sent, lines.size());
+  EXPECT_EQ(report.durable_watermark, lines.size());
+  EXPECT_EQ(report.reconnects, 0u);
+  server.stop();
+}
+
+TEST(Feed, ResumesFromTheHelloWatermarkInsteadOfResending) {
+  NetServer server(test_config());
+  server.add_resume_base(3);  // recovery found 3 lines already journaled
+  server.start();
+
+  const std::vector<std::string> lines = {"l0", "l1", "l2", "l3", "l4"};
+  FeedOptions options;
+  options.port = server.port();
+  options.commit = false;  // no ack needed: sending alone completes it
+
+  FeedReport report;
+  std::thread client([&] { report = feed_lines(lines, options); });
+  const auto items = drain_items(server, 2);
+  client.join();
+
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].line, "l3");  // at-most-once: l0..l2 skipped
+  EXPECT_EQ(items[1].line, "l4");
+  EXPECT_EQ(report.lines_sent, 2u);
+  server.stop();
+}
+
+TEST(Feed, ExhaustsItsRetryBudgetAgainstADeadEndpoint) {
+  FeedOptions options;
+  options.host = "127.0.0.1";
+  options.port = 1;  // privileged + unbound: connect always fails
+  options.retry.max_attempts = 3;
+  options.retry.backoff_ms = 1.0;
+  EXPECT_THROW(feed_lines({"x"}, options), IoError);
+}
+
+}  // namespace
+}  // namespace fs::net

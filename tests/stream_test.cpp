@@ -25,6 +25,7 @@
 #include "stream/source.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -170,16 +171,16 @@ TEST(Ring, FifoWithBoundedCapacity) {
   stream::EventRing ring(3);
   EXPECT_TRUE(ring.empty());
   EXPECT_EQ(ring.free_space(), 3u);
-  EXPECT_TRUE(ring.push({0, "a"}));
-  EXPECT_TRUE(ring.push({1, "b"}));
-  EXPECT_TRUE(ring.push({2, "c"}));
+  EXPECT_TRUE(ring.push({0, "a", {}}));
+  EXPECT_TRUE(ring.push({1, "b", {}}));
+  EXPECT_TRUE(ring.push({2, "c", {}}));
   EXPECT_TRUE(ring.full());
-  EXPECT_FALSE(ring.push({3, "d"}));  // full: caller blocks or sheds
+  EXPECT_FALSE(ring.push({3, "d", {}}));  // full: caller blocks or sheds
 
   const auto first = ring.pop();
   EXPECT_EQ(first.ordinal, 0u);
   EXPECT_EQ(first.line, "a");
-  EXPECT_TRUE(ring.push({3, "d"}));  // slot freed, wraps around
+  EXPECT_TRUE(ring.push({3, "d", {}}));  // slot freed, wraps around
   EXPECT_EQ(ring.pop().line, "b");
   EXPECT_EQ(ring.pop().line, "c");
   EXPECT_EQ(ring.pop().ordinal, 3u);
@@ -305,17 +306,18 @@ TEST(Source, FileTailHoldsBackTornLines) {
   const std::string path = dir + "/tail.txt";
   write_file(path, "line-one\nline-tw");  // second line torn mid-write
   stream::FileTailSource tail(path);
-  std::vector<std::string> out;
+  std::vector<stream::SourceItem> out;
   EXPECT_EQ(tail.poll(8, out), 1u);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], "line-one");
+  EXPECT_EQ(out[0].line, "line-one");
+  EXPECT_FALSE(out[0].poison.has_value());
 
   std::ofstream(path, std::ios::binary | std::ios::app) << "o\nline-three\n";
   out.clear();
   EXPECT_EQ(tail.poll(8, out), 2u);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], "line-two");
-  EXPECT_EQ(out[1], "line-three");
+  EXPECT_EQ(out[0].line, "line-two");
+  EXPECT_EQ(out[1].line, "line-three");
   EXPECT_FALSE(tail.exhausted());  // a tail never declares the stream done
 }
 
@@ -330,7 +332,7 @@ TEST(Source, OpenFailureIsRetriedThenFatal) {
   cfg.limit = 1;
   fp::activate("stream.source.open_fail", cfg);
   stream::ReplaySource replay(path);
-  std::vector<std::string> out;
+  std::vector<stream::SourceItem> out;
   EXPECT_EQ(replay.poll(8, out), 2u);  // transient failure absorbed
   EXPECT_EQ(replay.open_failures(), 1u);
   EXPECT_TRUE(replay.exhausted());
@@ -475,6 +477,78 @@ TEST(Daemon, BlockModeNeverSheds) {
   EXPECT_EQ(report.accepted + report.quarantined, report.consumed_lines);
 }
 
+/// A bursty in-memory source for the shed-accounting property: random-size
+/// bursts (including empty polls) of mostly-valid lines with an occasional
+/// parse-poison line, up to a fixed offered total.
+class BurstSource : public stream::EventSource {
+ public:
+  BurstSource(std::uint64_t seed, std::size_t total)
+      : rng_(seed), remaining_(total) {}
+
+  std::size_t poll(std::size_t max_items,
+                   std::vector<stream::SourceItem>& out) override {
+    if (remaining_ == 0 || max_items == 0) return 0;
+    if (rng_.chance(0.25)) return 0;  // idle poll: the stream is bursty
+    std::size_t want = 1 + static_cast<std::size_t>(
+                               rng_.next_u64(static_cast<std::uint64_t>(
+                                   std::min(max_items, remaining_))));
+    want = std::min({want, max_items, remaining_});
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::uint64_t n = emitted_++;
+      std::string line;
+      if (n % 9 == 8) {
+        // Parse poison (|lat| > 90): must land in the quarantine, and the
+        // quarantine slot must still count in the disposition census.
+        line = std::to_string(n % 7) + "\t2010-10-19T23:55:27Z\t95.0\t20.0\t3";
+      } else {
+        line = std::to_string(n % 7) + "\t2010-10-19T23:55:27Z\t30.2\t-97.7\t" +
+               std::to_string(n % 13);
+      }
+      out.push_back(stream::SourceItem{std::move(line), std::nullopt});
+    }
+    remaining_ -= want;
+    return want;
+  }
+  bool exhausted() const override { return remaining_ == 0; }
+  void skip_lines(std::uint64_t) override {}
+
+ private:
+  util::Rng rng_;
+  std::size_t remaining_;
+  std::uint64_t emitted_ = 0;
+};
+
+TEST(Property, ShedAccountingHoldsAcrossRandomRingsAndBursts) {
+  // Every offered line must end as exactly one of accepted, quarantined,
+  // or shed — across random ring sizes (forcing wraparound), poll budgets
+  // larger than the ring (forcing sheds), and bursty arrivals. Fixed meta
+  // seed: the trial stream is deterministic, so at least one trial is
+  // known to shed and every failure reproduces.
+  util::Rng meta(0xB00C5EEDULL);
+  std::uint64_t total_shed = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    fp::clear();
+    stream::ServeConfig cfg;
+    cfg.ring_capacity = 1 + static_cast<std::size_t>(meta.next_u64(12));
+    cfg.events_per_tick = 1 + static_cast<std::size_t>(meta.next_u64(24));
+    cfg.tick_budget_ms = 0;
+    cfg.backpressure = stream::Backpressure::kShed;
+    const std::size_t offered =
+        50 + static_cast<std::size_t>(meta.next_u64(250));
+    stream::ServeDaemon daemon(
+        cfg, std::make_unique<BurstSource>(meta.next_u64(1u << 30), offered));
+    const auto report = daemon.run();
+    ASSERT_TRUE(report.exhausted) << "trial " << trial;
+    EXPECT_EQ(report.consumed_lines, offered) << "trial " << trial;
+    EXPECT_EQ(report.accepted + report.quarantined + report.shed, offered)
+        << "trial " << trial << " ring=" << cfg.ring_capacity
+        << " events_per_tick=" << cfg.events_per_tick;
+    EXPECT_GT(report.quarantined, 0u) << "trial " << trial;
+    total_shed += report.shed;
+  }
+  EXPECT_GT(total_shed, 0u) << "no trial ever shed: the property is vacuous";
+}
+
 // ---------- convergence to batch ----------
 
 TEST(Convergence, StreamDatasetMatchesBatchLoader) {
@@ -537,17 +611,23 @@ TEST(Convergence, TickScheduleDoesNotChangeTheFixedPoint) {
 TEST(Failpoints, StreamEntriesRegisteredAndListSorted) {
   const auto& known = fp::known_failpoints();
   bool torn = false, open_fail = false, abort_fp = false;
+  std::size_t net_entries = 0;
   for (std::size_t i = 0; i < known.size(); ++i) {
     const std::string_view name = known[i].name;
-    if (i > 0)
+    if (i > 0) {
       EXPECT_LT(std::string_view(known[i - 1].name), name);  // sorted, unique
+    }
     if (name == "stream.journal.torn_write") torn = true;
     if (name == "stream.source.open_fail") open_fail = true;
     if (name == "stream.tick.abort") abort_fp = true;
+    if (name.substr(0, 4) == "net.") ++net_entries;
   }
   EXPECT_TRUE(torn);
   EXPECT_TRUE(open_fail);
   EXPECT_TRUE(abort_fp);
+  // The network fault surface: accept failure, connection drop, sender
+  // stall, torn client send, torn server write.
+  EXPECT_EQ(net_entries, 5u);
 }
 
 // ---------- FeatureCache delta invalidation ----------

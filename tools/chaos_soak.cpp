@@ -1,7 +1,8 @@
 // chaos_soak — randomized, seeded fault-injection soak for the FriendSeeker
 // pipeline.
 //
-//   chaos_soak [--runs N] [--seed S] [--users U] [--budget-mode] [--help]
+//   chaos_soak [--runs N] [--seed S] [--users U]
+//              [--budget-mode | --stream-mode | --net-mode] [--help]
 //
 // Soak mode (the default) generates a small synthetic world, runs one
 // uninterrupted baseline attack, then replays the same attack N times under
@@ -32,15 +33,32 @@
 // kills, nothing is shed under kBlock, and the stream-assembled dataset
 // drives the batch pipeline to byte-identical predictions.
 //
+// Net mode (--net-mode) soaks the socket front end: the same poisoned
+// stream is replayed over the fs::net wire protocol by a real feed client
+// (its own thread, retrying with backoff) while seeded faults kill the
+// daemon between commit points, tear client sends mid-frame, drop
+// connections server-side, tear ack writes, fail accept(2), and stall the
+// sender. Killed daemons are rebuilt from snapshot+journal and rebind the
+// same port; the client reconnects and resumes from the hello watermark.
+// Invariants: the drained engine digest is byte-identical to the batch
+// replay baseline, the quarantine census survives, nothing is shed, every
+// fault leaves a trace (kill, reconnect, or counted accept failure), a
+// stalled peer is idle-reaped, and a mid-ingest /metrics scrape returns
+// parseable Prometheus text without delaying ingestion.
+//
 // The schedule stream is fully determined by --seed, so a CI failure
 // reproduces locally with the same flags.
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -48,10 +66,14 @@
 #include "data/synthetic.h"
 #include "eval/pairs.h"
 #include "graph/metrics.h"
+#include "net/feed.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "par/pool.h"
 #include "stream/daemon.h"
 #include "stream/source.h"
 #include "util/args.h"
+#include "util/binary_io.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -579,6 +601,334 @@ int run_stream_soak(const SoakOptions& options) {
   return violations.empty() ? 0 : 1;
 }
 
+net::NetConfig make_net_config(std::uint16_t port) {
+  net::NetConfig cfg;
+  cfg.port = port;
+  cfg.idle_timeout_ms = 400.0;  // short: the stalled-peer reap is on-path
+  cfg.poll_interval_ms = 5.0;
+  return cfg;
+}
+
+stream::ServeConfig make_net_serve_config(std::string journal_dir) {
+  stream::ServeConfig cfg = make_serve_config(std::move(journal_dir));
+  cfg.stop_when_exhausted = false;  // a listener never runs dry
+  cfg.idle_sleep_ms = 1.0;
+  return cfg;
+}
+
+/// Plain blocking HTTP GET against the scrape side of the server.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  net::Fd fd = net::connect_tcp("127.0.0.1", port);
+  net::set_recv_timeout(fd.get(), 5000.0);
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: soak\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!util::write_all_eintr(fd.get(), request.data(), request.size()))
+    return {};
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = util::read_eintr(fd.get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// Everything one network ingest pass produces, across however many
+/// daemon incarnations the faults forced.
+struct IngestOutcome {
+  net::FeedReport feed;
+  std::string feed_error;
+  int kills = 0;
+  bool completed = false;
+  std::uint64_t digest = 0;
+  std::uint64_t shed = 0;
+  std::array<std::uint64_t, stream::kRejectReasonCount> counts{};
+  net::NetStats final_stats;       // of the last (surviving) server
+  std::string metrics_body;        // mid-ingest /metrics scrape, if probed
+};
+
+/// Drives one full wire-protocol ingest of `stream_path`: a feed client on
+/// its own thread (generous retry budget — it must survive daemon
+/// restarts), the serve daemon chunk-ticking on this thread, and on every
+/// injected kill a full teardown + recovery: new server bound to the SAME
+/// port, new daemon recovered from snapshot+journal. The server is started
+/// only after recovery has published the resume base, so a reconnecting
+/// client can never see a stale hello watermark.
+IngestOutcome run_net_ingest(const std::string& dir,
+                             const std::string& stream_path,
+                             std::uint64_t client_seed, bool with_probes) {
+  IngestOutcome out;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::uint16_t port = 0;
+  std::unique_ptr<net::NetServer> server;
+  std::atomic<bool> client_done{false};
+  std::thread client;
+  std::optional<net::Fd> stalled;
+
+  while (!out.completed && out.kills <= 8) {
+    server = std::make_unique<net::NetServer>(make_net_config(port));
+    stream::ServeConfig cfg = make_net_serve_config(dir);
+    net::NetServer* srv = server.get();
+    cfg.after_tick = [srv](stream::ServeDaemon& d) {
+      if (srv->commit_pending()) {
+        d.sync_journal();
+        srv->publish_durable(d.journaled_watermark());
+      }
+    };
+    stream::ServeDaemon daemon(cfg,
+                               std::make_unique<net::SocketSource>(*server));
+    try {
+      daemon.recover();  // publishes the resume base — BEFORE listening
+      server->start();
+      if (port == 0) {
+        port = server->port();
+        net::FeedOptions fopts;
+        fopts.port = port;
+        fopts.retry.max_attempts = 200;
+        fopts.retry.backoff_ms = 5.0;
+        fopts.retry.multiplier = 1.0;  // flat: restarts are cheap, poll often
+        fopts.retry.seed = client_seed;
+        fopts.ack_timeout_ms = 2000.0;
+        client = std::thread([&out, &client_done, fopts, stream_path] {
+          try {
+            out.feed = net::feed_file(stream_path, fopts);
+          } catch (const std::exception& e) {
+            out.feed_error = e.what();
+          }
+          client_done.store(true);
+        });
+        if (with_probes) {
+          // A peer that connects and then says nothing: must be reaped,
+          // and must not delay the ingest happening around it.
+          stalled.emplace(net::connect_tcp("127.0.0.1", port));
+          out.metrics_body = http_get(port, "/metrics");
+        }
+      }
+      while (!client_done.load()) daemon.run_for(8);
+      if (with_probes) {
+        // Keep serving until the stalled peer hits its idle deadline.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (server->stats().connections_reaped == 0 &&
+               std::chrono::steady_clock::now() < deadline)
+          daemon.run_for(4);
+      }
+      daemon.run_for(4);  // absorb any straggler items, then drain
+      daemon.finish();
+      out.digest = daemon.report().final_digest;
+      out.shed = daemon.report().shed;
+      out.counts = daemon.quarantine().counts();
+      out.completed = true;
+    } catch (const fp::InjectedKill&) {
+      ++out.kills;
+    } catch (const IoError&) {
+      ++out.kills;  // torn journal write surfaces as an I/O crash
+    }
+    if (!out.completed) server->stop();
+  }
+
+  if (server != nullptr) {
+    out.final_stats = server->stats();
+    server->stop();
+  }
+  stalled.reset();
+  if (client.joinable()) client.join();
+  return out;
+}
+
+int run_net_soak(const SoakOptions& options) {
+  const World world = make_world(options);
+  const std::string stream_path = write_stream_input(world, options);
+
+  // Uninterrupted batch replay of the same input: the digest every
+  // network ingest must converge to, byte for byte.
+  fp::clear();
+  const std::string baseline_dir = options.work_dir + "/net_baseline";
+  std::filesystem::remove_all(baseline_dir);
+  std::filesystem::create_directories(baseline_dir);
+  stream::ServeDaemon baseline_daemon(
+      make_serve_config(baseline_dir),
+      std::make_unique<stream::ReplaySource>(stream_path));
+  const stream::ServeReport baseline = baseline_daemon.run();
+  const auto baseline_counts = baseline_daemon.quarantine().counts();
+  std::printf("net-soak: baseline lines=%llu quarantined=%llu "
+              "digest=%016llx\n",
+              static_cast<unsigned long long>(baseline.consumed_lines),
+              static_cast<unsigned long long>(baseline.quarantined),
+              static_cast<unsigned long long>(baseline.final_digest));
+  if (!baseline.exhausted || baseline.quarantined != 4) {
+    std::fprintf(stderr, "net-soak: baseline malformed\n");
+    return 1;
+  }
+
+  std::vector<Violation> violations;
+  const auto violation = [&](int run, std::string invariant,
+                             std::string detail) {
+    violations.push_back(
+        Violation{run, std::move(invariant), std::move(detail)});
+  };
+  const auto check_converged = [&](int run, const IngestOutcome& out) {
+    if (!out.feed_error.empty())
+      violation(run, "liveness", "feed client died: " + out.feed_error);
+    else if (!out.feed.committed ||
+             out.feed.durable_watermark != baseline.consumed_lines)
+      violation(run, "durability",
+                "client commit not durably acked through " +
+                    std::to_string(baseline.consumed_lines));
+    if (out.digest != baseline.final_digest)
+      violation(run, "resume-equivalence",
+                "net-ingested digest diverged from batch replay");
+    if (out.shed != 0)
+      violation(run, "resume-equivalence", "kBlock run shed lines");
+    if (out.counts != baseline_counts)
+      violation(run, "quarantine-census",
+                "quarantine counts diverged over the wire");
+  };
+
+  // ---- fault-free probe pass: stalled peer + mid-ingest scrape. ----
+  {
+    fp::clear();
+    const IngestOutcome out = run_net_ingest(
+        options.work_dir + "/net_probe", stream_path, options.seed, true);
+    if (!out.completed) {
+      violation(-1, "liveness", "probe ingest never completed");
+    } else {
+      check_converged(-1, out);
+      if (out.final_stats.connections_reaped == 0)
+        violation(-1, "idle-reaping", "stalled peer was never reaped");
+      if (out.metrics_body.find("200 OK") == std::string::npos ||
+          out.metrics_body.find("# TYPE") == std::string::npos ||
+          out.metrics_body.find("net_frames_total") == std::string::npos)
+        violation(-1, "scrape",
+                  "/metrics mid-ingest was not parseable Prometheus text");
+    }
+    std::printf("net-soak: probe pass %s (reaped=%llu, scrape %zu bytes)\n",
+                violations.empty() ? "converged" : "FAILED",
+                static_cast<unsigned long long>(
+                    out.final_stats.connections_reaped),
+                out.metrics_body.size());
+  }
+
+  // ---- seeded fault runs. ----
+  const std::uint64_t total_ticks = baseline.consumed_lines / 16 + 2;
+  int interrupted_and_resumed = 0;
+  std::uint64_t total_fired = 0;
+  for (int run = 0; run < options.runs; ++run) {
+    util::Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 0xfeedULL +
+                  static_cast<std::uint64_t>(run));
+    fp::clear();
+    std::string fault_name;
+    fp::Config fault_cfg;
+    bool expect_kill = false;       // daemon must die and be rebuilt
+    bool expect_reconnect = false;  // client must reconnect and resume
+    switch (run % 6) {
+      case 0:  // daemon killed between commit points
+        fault_name = "stream.tick.abort";
+        fault_cfg.action = fp::Action::kError;
+        fault_cfg.skip = static_cast<int>(rng.next_u64(total_ticks));
+        fault_cfg.limit = 1;
+        expect_kill = true;
+        break;
+      case 1:  // client send torn mid-frame
+        fault_name = "net.feed.torn_send";
+        fault_cfg.action = fp::Action::kTruncate;
+        fault_cfg.skip =
+            static_cast<int>(rng.next_u64(baseline.consumed_lines));
+        fault_cfg.limit = 1;
+        expect_reconnect = true;
+        break;
+      case 2:  // server drops the connection mid-stream
+        fault_name = "net.conn.drop";
+        fault_cfg.action = fp::Action::kError;
+        // Evaluated once per live connection per poll iteration; a fast
+        // feed only spans a few dozen iterations, so keep the skip small
+        // enough that the drop lands while the connection exists.
+        fault_cfg.skip = static_cast<int>(rng.next_u64(8));
+        fault_cfg.limit = 1;
+        expect_reconnect = true;
+        break;
+      case 3:  // server-side torn write (hello/ack desync)
+        fault_name = "net.write.torn";
+        fault_cfg.action = fp::Action::kTruncate;
+        fault_cfg.limit = 1;
+        expect_reconnect = true;
+        break;
+      case 4:  // transient accept(2) failure, absorbed by the backlog
+        fault_name = "net.accept.fail";
+        fault_cfg.action = fp::Action::kError;
+        fault_cfg.limit = 1;
+        break;
+      default:  // sender stall: pure latency, behaviourally invisible
+        fault_name = "net.feed.stall";
+        fault_cfg.action = fp::Action::kLatency;
+        fault_cfg.latency_ms = 1;
+        fault_cfg.limit = 2;
+        break;
+    }
+    fp::activate(fault_name, fault_cfg);
+
+    const std::string dir =
+        options.work_dir + "/net_run_" + std::to_string(run);
+    const IngestOutcome out = run_net_ingest(
+        dir, stream_path,
+        options.seed + 0xc11e47ULL + static_cast<std::uint64_t>(run),
+        false);
+    if (!out.completed) {
+      violation(run, "liveness", "kill budget never exhausted");
+      continue;
+    }
+    if (out.kills > 0) ++interrupted_and_resumed;
+
+    // ---- invariant: fault accounting — nothing fails silently. ----
+    const std::uint64_t fired = fp::triggers(fault_name);
+    total_fired += fired;
+    if (fired == 0)
+      violation(run, "fault-accounting", fault_name + " never fired");
+    if (expect_kill && fired > 0 && out.kills == 0)
+      violation(run, "fault-accounting",
+                fault_name + " fired but the daemon never died");
+    if (!expect_kill && out.kills != 0)
+      violation(run, "fault-accounting",
+                fault_name + " should not kill the daemon but did");
+    // A disconnect fault that lands before the final ack forces the
+    // client back for a retry; one that lands after it (ack delivered,
+    // socket not yet closed) is invisible to the client by design. So the
+    // trace is either a reconnect or an intact durable commit — a fired
+    // disconnect with neither is silent loss.
+    if (expect_reconnect && fired > 0 && out.feed.reconnects == 0 &&
+        !(out.feed_error.empty() && out.feed.committed))
+      violation(run, "fault-accounting",
+                fault_name + " fired, no reconnect, and no durable commit");
+    if (fault_name == "net.accept.fail" && fired > 0 &&
+        out.final_stats.accept_failures == 0)
+      violation(run, "fault-accounting",
+                "accept failure fired but was not counted");
+
+    // ---- invariant: convergence to the batch baseline. ----
+    check_converged(run, out);
+    std::filesystem::remove_all(dir);
+  }
+
+  fp::clear();
+  std::printf("net-soak: %d/%d runs interrupted+resumed, %llu faults "
+              "fired, %zu invariant violations\n",
+              interrupted_and_resumed, options.runs,
+              static_cast<unsigned long long>(total_fired),
+              violations.size());
+  for (const Violation& v : violations)
+    std::fprintf(stderr, "violation (run %d, %s): %s\n", v.run,
+                 v.invariant.c_str(), v.detail.c_str());
+  if (total_fired == 0) {
+    std::fprintf(stderr, "net-soak: no faults fired — schedule bug\n");
+    return 1;
+  }
+  return violations.empty() ? 0 : 1;
+}
+
 int run_budget_mode(const SoakOptions& options) {
   const World world = make_world(options);
   int failures = 0;
@@ -665,6 +1015,10 @@ int main(int argc, char** argv) {
   args.add_flag("stream-mode",
                 "soak the serve/streaming path: seeded mid-stream kills, "
                 "torn journal writes, open failures, digest convergence");
+  args.add_flag("net-mode",
+                "soak the socket front end: a real feed client under "
+                "daemon kills, torn sends, dropped connections, accept "
+                "failures; digest convergence to the batch baseline");
   args.add_flag("help", "show options");
   try {
     args.parse(argc, argv, 1);
@@ -686,6 +1040,7 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(options.work_dir);
     if (args.get_flag("budget-mode")) return run_budget_mode(options);
     if (args.get_flag("stream-mode")) return run_stream_soak(options);
+    if (args.get_flag("net-mode")) return run_net_soak(options);
     return run_soak(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "chaos_soak: %s\n", e.what());

@@ -1,0 +1,113 @@
+// feed_client — replays a SNAP check-in file over the fs::net wire
+// protocol to a running `friendseeker serve --listen` daemon.
+//
+//   feed_client CHECKINS.txt --connect 127.0.0.1:7071
+//       [--no-commit] [--retries N] [--backoff-ms MS] [--ack-timeout-ms MS]
+//       [--seed N]
+//
+// Disconnects (including injected torn sends via FS_FAILPOINTS) are
+// absorbed by reconnecting under a RetryPolicy and resuming from the
+// server's hello watermark. Exit 0 once everything sent is durably acked
+// (or sent, with --no-commit); exit 1 when the retry budget runs out.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/feed.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: feed_client CHECKINS.txt --connect HOST:PORT [--no-commit]\n"
+      "                   [--retries N] [--backoff-ms MS]\n"
+      "                   [--ack-timeout-ms MS] [--seed N]\n");
+}
+
+bool parse_endpoint(const std::string& text, std::string& host,
+                    std::uint16_t& port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos) return false;
+  host = text.substr(0, colon);
+  const long long value = fs::util::parse_int(text.substr(colon + 1));
+  if (value < 1 || value > 65535) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  fs::net::FeedOptions options;
+  options.retry.max_attempts = 8;
+  options.retry.backoff_ms = 50.0;
+  bool have_endpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      if (!parse_endpoint(next(), options.host, options.port)) {
+        std::fprintf(stderr, "feed_client: bad --connect endpoint\n");
+        return 2;
+      }
+      have_endpoint = true;
+    } else if (arg == "--no-commit") {
+      options.commit = false;
+    } else if (arg == "--retries") {
+      options.retry.max_attempts =
+          static_cast<int>(fs::util::parse_int(next()));
+    } else if (arg == "--backoff-ms") {
+      options.retry.backoff_ms = fs::util::parse_double(next());
+    } else if (arg == "--ack-timeout-ms") {
+      options.ack_timeout_ms = fs::util::parse_double(next());
+    } else if (arg == "--seed") {
+      options.retry.seed =
+          static_cast<std::uint64_t>(fs::util::parse_int(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "feed_client: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (input.empty() || !have_endpoint) {
+    usage();
+    return 2;
+  }
+
+  fs::util::failpoint::init_from_env();
+  try {
+    const auto report = fs::net::feed_file(input, options);
+    const std::string tail =
+        report.committed ? ", durable through ordinal " +
+                               std::to_string(report.durable_watermark)
+                         : ", not committed";
+    std::printf("feed_client: %llu lines, %llu sent (%llu reconnects)%s\n",
+                static_cast<unsigned long long>(report.lines_total),
+                static_cast<unsigned long long>(report.lines_sent),
+                static_cast<unsigned long long>(report.reconnects),
+                tail.c_str());
+    return 0;
+  } catch (const fs::Error& error) {
+    std::fprintf(stderr, "feed_client: %s\n", error.what());
+    return 1;
+  }
+}

@@ -12,6 +12,8 @@
 //                           --metrics-interval-sec S]
 //   friendseeker obfuscate CHECKINS EDGES --mechanism M --ratio R --out DIR
 //   friendseeker serve     CHECKINS [EDGES] --source replay|tail
+//                          [--listen HOST:PORT [--max-conns N
+//                           --idle-timeout-ms MS]]
 //                          [--journal-dir DIR --snapshot-every N]
 //                          [--tick-ms MS --staleness-budget-ms MS]
 //                          [--events-per-tick N --ring-capacity N
@@ -42,6 +44,7 @@
 #include "data/stats.h"
 #include "data/synthetic.h"
 #include "eval/harness.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -52,6 +55,7 @@
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/runtime.h"
+#include "util/strings.h"
 #include "util/table.h"
 
 namespace {
@@ -372,6 +376,18 @@ int cmd_serve(int argc, char** argv) {
   args.add_option("source", "replay",
                   "event source: replay (SNAP file, file order, rate-limited "
                   "by --events-per-tick) | tail (follow a growing file)");
+  args.add_option("listen", "",
+                  "HOST:PORT — take events from the network instead of a "
+                  "file (fs::net wire protocol; see tools/feed_client) and "
+                  "serve /metrics, /healthz, /streamz over HTTP on the same "
+                  "port; SIGTERM drains gracefully and exits 0");
+  args.add_option("max-conns", "64",
+                  "with --listen: established-connection cap (overflow is "
+                  "shed and counted)");
+  args.add_option("idle-timeout-ms", "30000",
+                  "with --listen: reap connections with no read/write "
+                  "progress for this long (slow-loris / stalled-scrape "
+                  "defense)");
   args.add_option("journal-dir", "",
                   "durability directory (CRC-framed journal + snapshots); "
                   "empty = volatile run, no crash recovery");
@@ -421,8 +437,13 @@ int cmd_serve(int argc, char** argv) {
                  args.help().c_str());
     return 0;
   }
-  if (args.positional().empty())
+  const std::string listen = args.get("listen");
+  if (listen.empty() && args.positional().empty())
     throw std::invalid_argument("expected: CHECKINS [EDGES]");
+  if (!listen.empty() && args.get_flag("finalize"))
+    throw std::invalid_argument(
+        "--listen serves an endless stream; run finalize separately against "
+        "the recovered journal (serve --source replay --finalize)");
   util::set_log_level(util::LogLevel::kInfo);
   const std::string metrics_out = args.get("metrics-out");
   if (!metrics_out.empty()) obs::set_metrics_enabled(true);
@@ -458,8 +479,35 @@ int cmd_serve(int argc, char** argv) {
   else
     throw std::invalid_argument("--backpressure must be block or shed");
   const std::string source_kind = args.get("source");
+  std::unique_ptr<net::NetServer> server;
   std::unique_ptr<stream::EventSource> source;
-  if (source_kind == "replay") {
+  if (!listen.empty()) {
+    net::NetConfig net_cfg;
+    const auto colon = listen.rfind(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("--listen expects HOST:PORT");
+    net_cfg.bind_host = listen.substr(0, colon);
+    net_cfg.port =
+        static_cast<std::uint16_t>(util::parse_int(listen.substr(colon + 1)));
+    net_cfg.max_connections =
+        static_cast<std::size_t>(args.get_int("max-conns"));
+    net_cfg.idle_timeout_ms = args.get_double("idle-timeout-ms");
+    server = std::make_unique<net::NetServer>(net_cfg);
+    source = std::make_unique<net::SocketSource>(*server);
+    cfg.stop_when_exhausted = false;
+    cfg.idle_sleep_ms = cfg.tick_budget_ms > 0 ? cfg.tick_budget_ms : 50.0;
+    cfg.drain_on_cancel = true;  // SIGTERM = graceful drain, exit 0
+    net::NetServer* srv = server.get();
+    cfg.after_tick = [srv](stream::ServeDaemon& d) {
+      if (srv->commit_pending()) {
+        // Durable-commit path: fsync the journal, then publish how far it
+        // covers; the server acks every commit at or below that watermark.
+        d.sync_journal();
+        srv->publish_durable(d.journaled_watermark());
+      }
+      srv->publish_streamz(d.streamz_json());
+    };
+  } else if (source_kind == "replay") {
     source = std::make_unique<stream::ReplaySource>(args.positional()[0]);
   } else if (source_kind == "tail") {
     source = std::make_unique<stream::FileTailSource>(args.positional()[0]);
@@ -485,6 +533,14 @@ int cmd_serve(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      recovery.journal_frames_replayed),
                  recovery.journal_truncated ? ", torn tail cut" : "");
+  if (server != nullptr) {
+    server->start();
+    std::fprintf(stderr,
+                 "listening on %s:%u (feed protocol + GET /metrics "
+                 "/healthz /streamz)\n",
+                 listen.substr(0, listen.rfind(':')).c_str(),
+                 static_cast<unsigned>(server->port()));
+  }
 
   // The finalize path shares one feature cache across repeated pipeline
   // runs: the engine reports which users each delta touched, the cache
@@ -594,7 +650,32 @@ int cmd_serve(int argc, char** argv) {
     obs::write_metrics_files(obs::metrics(), metrics_out);
     std::fprintf(stderr, "metrics: %s\n", metrics_out.c_str());
   }
-  if (report.cancelled || runtime::global_token().requested()) {
+  if (server != nullptr) {
+    // Graceful drain: stop accepting, close out connections, and report the
+    // shutdown as orderly — the ring was drained, the journal fsynced, and
+    // a final snapshot written by drain_on_cancel. Items still queued in
+    // the server are unacknowledged; clients resend them on reconnect.
+    server->stop_accepting();
+    const auto net_stats = server->stats();
+    server->stop();
+    std::fprintf(stderr,
+                 "net: %llu connections (%llu shed, %llu reaped), %llu "
+                 "frames (%llu rejected, %llu torn tails), %llu commits "
+                 "acked, %llu http requests\n",
+                 static_cast<unsigned long long>(net_stats.connections_total),
+                 static_cast<unsigned long long>(net_stats.connections_shed),
+                 static_cast<unsigned long long>(net_stats.connections_reaped),
+                 static_cast<unsigned long long>(net_stats.frames_total),
+                 static_cast<unsigned long long>(net_stats.frames_rejected),
+                 static_cast<unsigned long long>(net_stats.torn_tails),
+                 static_cast<unsigned long long>(net_stats.commits_acked),
+                 static_cast<unsigned long long>(net_stats.http_requests));
+    if (report.cancelled || runtime::global_token().requested())
+      std::fprintf(stderr,
+                   "drained on signal %d: journal fsynced, snapshot "
+                   "written\n",
+                   runtime::last_signal());
+  } else if (report.cancelled || runtime::global_token().requested()) {
     std::fprintf(stderr, "interrupted by signal %d; journal intact\n",
                  runtime::last_signal());
     return 130;
