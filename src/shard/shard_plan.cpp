@@ -1,0 +1,56 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fs::shard {
+
+ShardPlan ShardPlan::build(std::span<const std::uint64_t> grid_weights,
+                           std::size_t shard_count) {
+  if (shard_count == 0)
+    throw std::invalid_argument("ShardPlan: shard_count must be >= 1");
+  const auto grid_count = static_cast<std::uint32_t>(grid_weights.size());
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : grid_weights) total += w;
+
+  ShardPlan plan;
+  plan.shards_.reserve(shard_count);
+  std::uint32_t next_lo = 0;
+  std::uint64_t cum = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    ShardRange range{next_lo, next_lo};
+    // Target for the end of shard s, in cumulative weight (or grid count
+    // when the weights carry no signal). Exact integer form of
+    // ceil(total * (s+1) / shard_count) keeps the split deterministic.
+    if (total > 0) {
+      const std::uint64_t target =
+          (total * static_cast<std::uint64_t>(s + 1) + shard_count - 1) /
+          shard_count;
+      while (range.grid_hi < grid_count && cum < target) {
+        cum += grid_weights[range.grid_hi];
+        ++range.grid_hi;
+      }
+    } else {
+      range.grid_hi = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(grid_count) * (s + 1) / shard_count);
+    }
+    // The last shard sweeps up any remainder so the ranges always cover.
+    if (s + 1 == shard_count) range.grid_hi = grid_count;
+    next_lo = range.grid_hi;
+    plan.shards_.push_back(range);
+  }
+  return plan;
+}
+
+std::size_t ShardPlan::shard_of_grid(std::uint32_t grid) const {
+  // First shard whose grid_hi exceeds `grid`; empty shards (hi == lo) are
+  // naturally skipped because their hi equals the next shard's lo.
+  const auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), grid,
+      [](std::uint32_t g, const ShardRange& r) { return g < r.grid_hi; });
+  if (it == shards_.end())
+    throw std::out_of_range("ShardPlan::shard_of_grid: grid beyond plan");
+  return static_cast<std::size_t>(it - shards_.begin());
+}
+
+}  // namespace fs::shard

@@ -1,0 +1,57 @@
+// Shard planning over the quadtree spatial division.
+//
+// Quadtree leaves are DFS-numbered, so any contiguous grid range is a union
+// of whole subtrees; a plan is a partition of [0, grid_count) into
+// shard_count contiguous ranges, balanced by per-grid row weight (check-in
+// counts). Because a (cell, slot)-sorted store lays a grid range out as one
+// contiguous row stripe, a shard is simultaneously a subtree of the
+// division, a stripe of the store file, and a slice of the occupied-cell
+// list — the alignment everything in fs::shard leans on.
+//
+// Determinism contract: the plan is a pure function of (weights,
+// shard_count). The sharded pipeline's guarantee — final-graph digest
+// byte-identical to the unsharded run at any shard count — does not depend
+// on the plan being balanced, only on it being a partition; balance is a
+// pure wall-clock concern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fs::shard {
+
+/// Half-open grid range [grid_lo, grid_hi) owned by one shard. Empty ranges
+/// (grid_lo == grid_hi) are legal: more shards than grids degenerates
+/// gracefully.
+struct ShardRange {
+  std::uint32_t grid_lo = 0;
+  std::uint32_t grid_hi = 0;
+
+  std::size_t grid_count() const { return grid_hi - grid_lo; }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+class ShardPlan {
+ public:
+  /// Greedy balanced partition: shard s ends at the first grid where the
+  /// cumulative weight reaches (s+1)/shard_count of the total, so every
+  /// prefix cut is within one grid's weight of ideal. `grid_weights[g]` is
+  /// typically the check-in count of grid g; all-zero weights fall back to
+  /// an even split by grid count.
+  static ShardPlan build(std::span<const std::uint64_t> grid_weights,
+                         std::size_t shard_count);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const ShardRange& shard(std::size_t s) const { return shards_.at(s); }
+  const std::vector<ShardRange>& shards() const { return shards_; }
+
+  /// Index of the shard owning `grid` (binary search over range bounds).
+  std::size_t shard_of_grid(std::uint32_t grid) const;
+
+ private:
+  std::vector<ShardRange> shards_;
+};
+
+}  // namespace fs::shard

@@ -1,0 +1,39 @@
+#include "shard/sharded_candidates.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace fs::shard {
+
+std::vector<data::UserPair> generate_candidate_pairs_sharded(
+    const block::CellIndex& index, const block::BlockingConfig& config,
+    const ShardPlan& plan, std::vector<ShardRunStats>* stats) {
+  obs::Span span("shard.candidates.generate");
+  span.arg("shards", static_cast<double>(plan.shard_count()));
+  std::vector<data::UserPair> out;
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const ShardRange& range = plan.shard(s);
+    const std::size_t before = out.size();
+    block::append_cell_tier_pairs(index, range.grid_lo, range.grid_hi,
+                                  config.slot_tolerance, out);
+    if (stats != nullptr && s < stats->size())
+      (*stats)[s].cell_candidates = out.size() - before;
+  }
+  block::append_hop_tier_pairs(index, config.hop_expansion, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  span.arg("candidates", static_cast<double>(out.size()));
+  return out;
+}
+
+std::size_t owner_shard(const block::CellIndex& index, const ShardPlan& plan,
+                        const data::UserPair& pair) {
+  const auto profile = index.cell_profile(pair.first);
+  if (profile.empty()) return 0;
+  const auto grid = static_cast<std::uint32_t>(
+      profile.front() / index.slot_count());
+  return plan.shard_of_grid(grid);
+}
+
+}  // namespace fs::shard

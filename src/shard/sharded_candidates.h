@@ -1,0 +1,54 @@
+// Sharded candidate generation and pair ownership.
+//
+// The cell tier of candidate generation partitions exactly by anchor grid
+// (append_cell_tier_pairs' contract), so the sharded generator runs it one
+// shard at a time in plan order and unions the results; the hop tier is a
+// closure over *users* (the strong-co-occurrence graph ignores geometry),
+// so it runs once, globally, after the merge — that is the whole boundary
+// story: a pair of users who never co-occur in any cell can still enter
+// the universe through hops, and no per-shard pass could see it. The final
+// sort + de-duplication makes the output independent of which shard
+// emitted a pair first, hence byte-identical to the monolithic generator.
+//
+// Ownership assigns every universe pair to exactly one shard (for
+// accounting and the shard-grouped phase-1 schedule): the shard of the
+// first grid in the lexicographically smaller user's cell profile, shard 0
+// for users who never checked in anywhere. Every pair has exactly one
+// owner, so per-shard (scored + pruned) counts sum to the universe — the
+// schema-v4 perf_bench invariant.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "block/candidate_gen.h"
+#include "block/cell_index.h"
+#include "shard/shard_plan.h"
+
+namespace fs::shard {
+
+/// Per-shard execution accounting surfaced in FriendSeekerResult and
+/// perf_bench's schema-v4 shard section.
+struct ShardRunStats {
+  std::uint32_t grid_lo = 0;
+  std::uint32_t grid_hi = 0;
+  std::uint64_t rows = 0;            // check-ins inside the grid range
+  std::uint64_t universe_pairs = 0;  // universe pairs this shard owns
+  std::uint64_t scored_pairs = 0;    // owned pairs kept for scoring
+  std::uint64_t pruned_pairs = 0;    // owned pairs blocked away
+  std::uint64_t cell_candidates = 0; // cell-tier pairs this shard emitted
+  double wall_ms = 0.0;              // phase-1 scoring wall for the group
+};
+
+/// Sharded twin of generate_candidate_pairs: per-shard cell tiers merged in
+/// plan order, one global hop tier, sort + dedupe. `stats` (when non-null,
+/// sized shard_count) receives each shard's emitted cell-tier pair count.
+std::vector<data::UserPair> generate_candidate_pairs_sharded(
+    const block::CellIndex& index, const block::BlockingConfig& config,
+    const ShardPlan& plan, std::vector<ShardRunStats>* stats = nullptr);
+
+/// The shard owning `pair` (see file comment for the convention).
+std::size_t owner_shard(const block::CellIndex& index, const ShardPlan& plan,
+                        const data::UserPair& pair);
+
+}  // namespace fs::shard

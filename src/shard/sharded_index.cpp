@@ -1,0 +1,99 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+#include "par/par.h"
+
+namespace fs::shard {
+
+BinnedCheckins bin_checkins(const data::Dataset& dataset,
+                            const geo::SpatialDivision& division,
+                            const geo::TimeSlotting& slots,
+                            runtime::ExecutionContext* context) {
+  obs::Span span("shard.bin_checkins");
+  BinnedCheckins out;
+  out.cell.resize(dataset.checkin_count());
+  out.slot.resize(dataset.checkin_count());
+  const data::CheckIn* base = dataset.checkins().data();
+  par::ParallelOptions popts;
+  popts.context = context;
+  popts.what = "shard.bin_checkins";
+  popts.grain = 16;
+  // Per-user fan-out (not per-check-in): trajectories are contiguous in the
+  // check-in array, so each task writes a disjoint contiguous stripe.
+  par::parallel_for(dataset.user_count(), popts, [&](std::size_t u) {
+    const auto user = static_cast<data::UserId>(u);
+    for (const data::CheckIn& c : dataset.trajectory(user)) {
+      const auto i = static_cast<std::size_t>(&c - base);
+      out.cell[i] = static_cast<std::uint32_t>(division.cell_of(c.location));
+      out.slot[i] = static_cast<std::uint32_t>(slots.slot_of(c.time));
+    }
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> grid_row_weights(const BinnedCheckins& binned,
+                                            std::size_t grid_count) {
+  std::vector<std::uint64_t> weights(grid_count, 0);
+  for (const std::uint32_t cell : binned.cell) ++weights[cell];
+  return weights;
+}
+
+std::vector<std::uint64_t> shard_row_counts(const BinnedCheckins& binned,
+                                            const ShardPlan& plan) {
+  std::vector<std::uint64_t> rows(plan.shard_count(), 0);
+  for (const std::uint32_t cell : binned.cell)
+    ++rows[plan.shard_of_grid(cell)];
+  return rows;
+}
+
+block::CellIndex build_sharded_index(const data::Dataset& dataset,
+                                     const BinnedCheckins& binned,
+                                     const geo::TimeSlotting& slots,
+                                     std::size_t grid_count,
+                                     const ShardPlan& plan,
+                                     runtime::ExecutionContext* context) {
+  obs::Span span("shard.index.build");
+  span.arg("shards", static_cast<double>(plan.shard_count()));
+  const std::size_t slot_count = slots.slot_count();
+  const data::CheckIn* base = dataset.checkins().data();
+  std::vector<std::vector<block::CellIndex::PoiVisit>> visits(
+      dataset.user_count());
+
+  // Shards run in plan order; inside a shard, users fan out over fs::par
+  // (disjoint slots — every task appends only to its own user's list).
+  // Appending in shard order keeps each user's list globally sorted: shard
+  // ranges ascend by grid, so a later shard's cellslots all exceed an
+  // earlier shard's.
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const ShardRange& range = plan.shard(s);
+    if (range.grid_count() == 0) continue;
+    if (context != nullptr) context->checkpoint("shard.index.build");
+    par::ParallelOptions popts;
+    popts.context = context;
+    popts.what = "shard.index.fragments";
+    popts.grain = 16;
+    par::parallel_for(dataset.user_count(), popts, [&](std::size_t u) {
+      const auto user = static_cast<data::UserId>(u);
+      std::vector<block::CellIndex::PoiVisit> fragment;
+      for (const data::CheckIn& c : dataset.trajectory(user)) {
+        const auto i = static_cast<std::size_t>(&c - base);
+        const std::uint32_t cell = binned.cell[i];
+        if (cell < range.grid_lo || cell >= range.grid_hi) continue;
+        fragment.push_back(block::CellIndex::PoiVisit{
+            static_cast<std::uint32_t>(cell * slot_count + binned.slot[i]),
+            c.poi});
+      }
+      std::sort(fragment.begin(), fragment.end());
+      fragment.erase(std::unique(fragment.begin(), fragment.end()),
+                     fragment.end());
+      visits[u].insert(visits[u].end(), fragment.begin(), fragment.end());
+    });
+  }
+
+  return block::CellIndex::from_parts(grid_count, slot_count,
+                                      std::move(visits));
+}
+
+}  // namespace fs::shard

@@ -1,0 +1,64 @@
+// Sharded CellIndex construction with a byte-identity guarantee.
+//
+// The monolithic CellIndex bins every trajectory into (cellslot, poi)
+// visits and finalizes profiles + inverted index from them. The sharded
+// build does the same work one grid range at a time: each shard bins only
+// the check-ins whose cell falls inside its range (fragments), and the
+// fragments are concatenated *in shard order*. Because shard ranges ascend
+// by grid and a user's fragment is sorted within its shard, the
+// concatenation is exactly the sorted, de-duplicated visit list the
+// monolithic constructor produces — fragments from different shards can
+// never collide on a cellslot. `CellIndex::from_parts` then finalizes the
+// identical structure, so signature(), and with it every downstream cache
+// key and digest, matches the unsharded build bit for bit. This is the
+// halo-free half of the shard correctness argument (DESIGN.md): cell
+// co-occurrence is intra-grid by construction, so grid-granular shards
+// need no spatial halo — users active in several shards ("halo users")
+// are merged here instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "block/cell_index.h"
+#include "data/dataset.h"
+#include "geo/spatial_division.h"
+#include "geo/time_slots.h"
+#include "shard/shard_plan.h"
+#include "util/runtime.h"
+
+namespace fs::shard {
+
+/// Per-check-in (cell, slot) assignment, parallel to dataset.checkins().
+/// Computed once (fs::par over users) and reused by the planner (weights)
+/// and the sharded index build, so geometry is evaluated exactly once per
+/// check-in — same count as the monolithic path.
+struct BinnedCheckins {
+  std::vector<std::uint32_t> cell;
+  std::vector<std::uint32_t> slot;
+};
+
+BinnedCheckins bin_checkins(const data::Dataset& dataset,
+                            const geo::SpatialDivision& division,
+                            const geo::TimeSlotting& slots,
+                            runtime::ExecutionContext* context = nullptr);
+
+/// Check-ins per grid — the shard planner's balance weights.
+std::vector<std::uint64_t> grid_row_weights(const BinnedCheckins& binned,
+                                            std::size_t grid_count);
+
+/// Rows (check-ins) each shard of `plan` owns; observability for the
+/// per-shard metrics and the perf_bench v4 shard section.
+std::vector<std::uint64_t> shard_row_counts(const BinnedCheckins& binned,
+                                            const ShardPlan& plan);
+
+/// Builds the CellIndex shard by shard (see file comment for why the
+/// result is byte-identical to `CellIndex(dataset, division, slots)`).
+block::CellIndex build_sharded_index(const data::Dataset& dataset,
+                                     const BinnedCheckins& binned,
+                                     const geo::TimeSlotting& slots,
+                                     std::size_t grid_count,
+                                     const ShardPlan& plan,
+                                     runtime::ExecutionContext* context = nullptr);
+
+}  // namespace fs::shard

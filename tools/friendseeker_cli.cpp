@@ -2,7 +2,12 @@
 //
 //   friendseeker generate  --preset gowalla --out DIR [--users N ...]
 //   friendseeker stats     CHECKINS EDGES
-//   friendseeker attack    CHECKINS EDGES [--sigma S --tau D --dim D --k K]
+//   friendseeker convert   CHECKINS EDGES --out STORE.fsst
+//                          [--sigma S --tau D] [--permissive]
+//                          [--min-checkins N --max-users N]
+//   friendseeker attack    CHECKINS EDGES | --store STORE.fsst
+//                          [--sigma S --tau D --dim D --k K]
+//                          [--shards N]
 //                          [--blocking on|off|auto --block-hops H
 //                           --block-slot-tolerance T]
 //                          [--permissive] [--checkpoint-dir DIR [--resume]]
@@ -43,12 +48,15 @@
 #include "data/obfuscation.h"
 #include "data/stats.h"
 #include "data/synthetic.h"
+#include "eval/digest.h"
 #include "eval/harness.h"
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "store/convert.h"
+#include "store/store.h"
 #include "stream/daemon.h"
 #include "stream/source.h"
 #include "util/args.h"
@@ -69,6 +77,7 @@ int usage() {
       "commands:\n"
       "  generate   synthesize an MSN world and write SNAP-format files\n"
       "  stats      dataset statistics and co-presence census\n"
+      "  convert    SNAP files -> checksummed columnar store (.fsst)\n"
       "  attack     run FriendSeeker (and baselines) on a dataset\n"
       "  obfuscate  apply a countermeasure and write the perturbed dataset\n"
       "  serve      stream check-ins through the crash-safe ingestion "
@@ -141,13 +150,45 @@ int cmd_generate(int argc, char** argv) {
 
 int cmd_stats(int argc, char** argv) {
   util::ArgParser args;
+  args.add_option("store", "",
+                  "read a columnar store (.fsst) instead of SNAP text; runs "
+                  "full checksum verification and reports store internals");
   args.add_flag("help", "show options");
   args.parse(argc, argv, 2);
   if (args.get_flag("help")) {
-    std::fprintf(stderr, "usage: friendseeker stats CHECKINS EDGES\n");
+    std::fprintf(stderr,
+                 "usage: friendseeker stats CHECKINS EDGES | --store FILE\n");
     return 0;
   }
-  const data::Dataset ds = load_positional(args);
+  data::Dataset ds;
+  if (!args.get("store").empty()) {
+    obs::Span verify_span("store.open_verify");
+    const store::MappedStore mapped =
+        store::MappedStore::open(args.get("store"), store::Verify::kFull);
+    verify_span.end();
+    obs::Span mat_span("store.materialize");
+    ds = mapped.to_dataset();
+    mat_span.end();
+    const store::StoreHeader& h = mapped.header();
+    util::Table store_table({"rows", "grids", "slots", "sigma", "tau h",
+                             "file MB", "verify ms", "materialize ms"});
+    store_table.new_row()
+        .add(static_cast<std::size_t>(h.row_count))
+        .add(static_cast<std::size_t>(h.grid_count))
+        .add(static_cast<std::size_t>(h.slot_count))
+        .add(static_cast<std::size_t>(h.sigma))
+        .add(static_cast<double>(h.tau_seconds) / 3600.0, 1)
+        .add(static_cast<double>(mapped.file_bytes()) / (1024.0 * 1024.0), 1)
+        .add(verify_span.milliseconds(), 1)
+        .add(mat_span.milliseconds(), 1);
+    store_table.print("store (full verification: every payload checksum)");
+    const data::LoadReport report = mapped.load_report();
+    if (report.quarantined_checkins() > 0 || report.quarantined_edges() > 0)
+      std::fprintf(stderr, "%s\n", report.summary().c_str());
+    mapped.release_pages();
+  } else {
+    ds = load_positional(args);
+  }
   const data::DatasetStats s = data::dataset_stats(ds);
   util::Table table({"pois", "users", "checkins", "checkins/user", "links"});
   table.new_row()
@@ -181,6 +222,79 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+/// In-memory footprint of a materialized Dataset — what a store-backed run
+/// actually keeps resident, as opposed to the store's file size (which
+/// stays on disk; the mapping is dropped after materialization).
+std::size_t dataset_resident_estimate(const data::Dataset& ds) {
+  return ds.checkin_count() * sizeof(data::CheckIn) +
+         ds.poi_count() * sizeof(data::Poi) +
+         (ds.user_count() + 1) * sizeof(std::size_t) +
+         ds.friendships().edge_count() * 2 * sizeof(graph::NodeId);
+}
+
+int cmd_convert(int argc, char** argv) {
+  util::ArgParser args;
+  args.add_option("out", "checkins.fsst", "store file to write");
+  args.add_option("sigma", "45",
+                  "quadtree leaf capacity baked into the cell column");
+  args.add_option("tau", "1", "time-slot length in days for the slot column");
+  args.add_option("min-checkins", "2",
+                  "drop users with fewer check-ins (loader activity floor)");
+  args.add_option("max-users", "0",
+                  "cap on users after the activity floor (0 = unlimited)");
+  args.add_option("deadline-sec", "0",
+                  "wall-clock budget for the conversion (0 = unlimited)");
+  args.add_flag("strict", "abort on the first malformed input line (default)");
+  args.add_flag("permissive",
+                "quarantine malformed input lines instead of aborting; the "
+                "census is persisted into the store header");
+  args.add_flag("help", "show options");
+  args.parse(argc, argv, 2);
+  if (args.get_flag("help")) {
+    std::fprintf(stderr, "usage: friendseeker convert CHECKINS EDGES "
+                         "[options]\n%s",
+                 args.help().c_str());
+    return 0;
+  }
+  if (args.get_flag("strict") && args.get_flag("permissive"))
+    throw std::invalid_argument("--strict and --permissive are exclusive");
+  if (args.positional().size() < 2)
+    throw std::invalid_argument("expected: CHECKINS EDGES");
+  util::set_log_level(util::LogLevel::kInfo);
+
+  runtime::install_signal_handlers();
+  runtime::ExecutionContext context;
+  context.set_cancellation(&runtime::global_token());
+  if (args.get_double("deadline-sec") > 0.0)
+    context.set_deadline_seconds(args.get_double("deadline-sec"));
+
+  store::ConvertOptions options;
+  options.sigma = static_cast<std::size_t>(args.get_int("sigma"));
+  options.tau_seconds = static_cast<geo::Timestamp>(
+      args.get_double("tau") * static_cast<double>(geo::kSecondsPerDay));
+  options.load.strictness = args.get_flag("permissive")
+                                ? data::Strictness::kPermissive
+                                : data::Strictness::kStrict;
+  options.load.min_checkins = static_cast<int>(args.get_int("min-checkins"));
+  options.load.max_users =
+      static_cast<std::size_t>(args.get_int("max-users"));
+  options.load.context = &context;
+
+  data::LoadReport report;
+  const store::ConvertStats stats = store::convert_snap_to_store(
+      args.positional()[0], args.positional()[1], args.get("out"), options,
+      &report);
+  if (args.get_flag("permissive") && (report.quarantined_checkins() > 0 ||
+                                      report.quarantined_edges() > 0))
+    std::fprintf(stderr, "%s\n", report.summary().c_str());
+  std::printf("wrote %s: %zu rows, %zu users, %zu pois, %zu edges, "
+              "%zu grids x %zu slots, %.1f MB\n",
+              args.get("out").c_str(), stats.rows, stats.users, stats.pois,
+              stats.edges, stats.grid_count, stats.slot_count,
+              static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0));
+  return 0;
+}
+
 int cmd_attack(int argc, char** argv) {
   util::ArgParser args;
   args.add_option("sigma", "0", "max POIs per grid (0 = poi_count / 8)");
@@ -197,6 +311,17 @@ int cmd_attack(int argc, char** argv) {
                   "co-occurrence graph even without direct co-occurrence");
   args.add_option("block-slot-tolerance", "1",
                   "time-slot tolerance for cell co-occurrence blocking");
+  args.add_option("store", "",
+                  "read the dataset from a columnar store (.fsst, see "
+                  "'convert') instead of CHECKINS EDGES positionals; the "
+                  "store is fully verified, materialized, and its pages "
+                  "dropped — memory accounting charges the resident "
+                  "estimate, not the file size");
+  args.add_option("shards", "0",
+                  "partition the spatial division into N quadtree-subtree "
+                  "shards and run the index build and phase-1 scoring "
+                  "shard by shard (0 = monolithic; the final graph is "
+                  "byte-identical at any shard count)");
   args.add_option("max-iterations", "0",
                   "alias for --iterations (overrides it when > 0)");
   args.add_option("deadline-sec", "0",
@@ -263,19 +388,37 @@ int cmd_attack(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("max-memory-mb")) * 1024 *
         1024);
 
-  data::LoadOptions load_options;
-  load_options.strictness = args.get_flag("permissive")
-                                ? data::Strictness::kPermissive
-                                : data::Strictness::kStrict;
-  load_options.context = &context;
+  const std::string store_path = args.get("store");
   data::LoadReport load_report;
-  const data::Dataset ds = load_positional(args, load_options, &load_report);
+  runtime::MemoryCharge dataset_charge;
+  data::Dataset ds;
+  if (!store_path.empty()) {
+    // Store-backed path: full verification (every block CRC + the sort
+    // fingerprint), materialize, then drop the mapping's pages. What the
+    // run keeps is the materialized Dataset — so that is what the memory
+    // budget is charged for (plus whatever pages the kernel still holds),
+    // NOT the store's file size, which stays on disk.
+    const store::MappedStore mapped = store::MappedStore::open(store_path);
+    load_report = mapped.load_report();
+    ds = mapped.to_dataset();
+    mapped.release_pages();
+    dataset_charge = runtime::MemoryCharge(
+        &context, dataset_resident_estimate(ds) + mapped.resident_bytes(),
+        "store.dataset");
+  } else {
+    data::LoadOptions load_options;
+    load_options.strictness = args.get_flag("permissive")
+                                  ? data::Strictness::kPermissive
+                                  : data::Strictness::kStrict;
+    load_options.context = &context;
+    ds = load_positional(args, load_options, &load_report);
+  }
   if (args.get_flag("permissive") &&
       (load_report.quarantined_checkins() > 0 ||
        load_report.quarantined_edges() > 0))
     std::fprintf(stderr, "%s\n", load_report.summary().c_str());
-  const eval::Experiment experiment =
-      eval::make_experiment(ds, args.positional()[0]);
+  const eval::Experiment experiment = eval::make_experiment(
+      ds, store_path.empty() ? args.positional()[0] : store_path);
 
   core::FriendSeekerConfig cfg = eval::default_seeker_config();
   cfg.sigma = args.get_int("sigma") > 0
@@ -299,6 +442,7 @@ int cmd_attack(int argc, char** argv) {
   cfg.blocking.hop_expansion = static_cast<int>(args.get_int("block-hops"));
   cfg.blocking.slot_tolerance =
       static_cast<int>(args.get_int("block-slot-tolerance"));
+  cfg.shards = static_cast<std::size_t>(args.get_int("shards"));
   cfg.checkpoint_dir = args.get("checkpoint-dir");
   cfg.resume = args.get_flag("resume");
   cfg.context = &context;
@@ -319,6 +463,9 @@ int cmd_attack(int argc, char** argv) {
   if (args.get_flag("baselines"))
     for (const auto& baseline : eval::make_baselines()) record(*baseline);
   table.print("attack results (70/30 pair split)");
+  std::printf("result digest: %s  final graph digest: %s\n",
+              eval::result_digest(seeker.last_result()).c_str(),
+              eval::graph_digest(seeker.last_result().final_graph).c_str());
 
   const runtime::DegradationReport& degradation =
       seeker.last_result().degradation;
@@ -337,6 +484,22 @@ int cmd_attack(int argc, char** argv) {
                  "via hop expansion, %zu forced train pairs)\n",
                  bs.scored_pairs, bs.universe_pairs, bs.pruned_pairs,
                  bs.hop_candidates, bs.forced_pairs);
+  }
+  if (!seeker.last_result().shards.empty()) {
+    util::Table shard_table({"shard", "grids", "rows", "universe", "scored",
+                             "pruned", "wall ms"});
+    for (std::size_t s = 0; s < seeker.last_result().shards.size(); ++s) {
+      const auto& st = seeker.last_result().shards[s];
+      shard_table.new_row()
+          .add(s)
+          .add(static_cast<std::size_t>(st.grid_hi - st.grid_lo))
+          .add(st.rows)
+          .add(st.universe_pairs)
+          .add(st.scored_pairs)
+          .add(st.pruned_pairs)
+          .add(st.wall_ms, 1);
+    }
+    shard_table.print("sharded execution (digest-identical to monolithic)");
   }
   {
     const auto& cs = seeker.last_result().cache;
@@ -756,6 +919,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "convert") return cmd_convert(argc, argv);
     if (command == "attack") return cmd_attack(argc, argv);
     if (command == "obfuscate") return cmd_obfuscate(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);

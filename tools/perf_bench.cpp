@@ -6,14 +6,22 @@
 //
 //   perf_bench [--preset tiny|gowalla|brightkite] [--out BENCH_pipeline.json]
 //              [--metrics-out M.json] [--trace-out T.json] [--seed N]
-//              [--threads N] [--scaling 1,2,4,8]
+//              [--threads N] [--scaling 1,2,4,8] [--shards N]
 //              [--blocking on|off|auto] [--universe sampled|full]
+//              [--store-comparison on|off]
 //   perf_bench --validate FILE    # schema-check an existing BENCH file
 //
 // --scaling re-runs the same attack once per listed thread count and emits
 // a "scaling" section: wall time, speedup vs the first entry, and a digest
 // of the run's outputs, so CI asserts byte-identity across thread counts in
 // the same pass that tracks the speedup curve.
+//
+// --store-comparison on (the default) additionally round-trips the
+// experiment's dataset through the columnar store and re-runs the attack
+// in-memory, store-backed, and store-backed with 4 shards, emitting the
+// "store_comparison" section (wall, peak memory, digest identity). The
+// schema-v4 validator re-checks the shard-ownership invariant — per-shard
+// scored + pruned sums to the universe — from the emitted JSON alone.
 //
 // --universe full extends the sampled test set with EVERY remaining user
 // pair, the population an attacker actually faces; quality is still scored
@@ -24,12 +32,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "data/loader.h"
 #include "eval/digest.h"
 #include "eval/harness.h"
 #include "eval/presets.h"
@@ -37,6 +47,9 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "shard/sharded_candidates.h"
+#include "store/convert.h"
+#include "store/store.h"
 #include "util/args.h"
 #include "util/logging.h"
 #include "util/runtime.h"
@@ -46,7 +59,7 @@ namespace {
 using namespace fs;
 namespace json = obs::json;
 
-constexpr double kSchemaVersion = 3.0;
+constexpr double kSchemaVersion = 4.0;
 
 /// Runs the attack and grades the balanced test subset. Under --universe
 /// full the test list carries unlabeled extension pairs after the labeled
@@ -99,12 +112,38 @@ std::vector<std::size_t> parse_scaling(const std::string& spec) {
   return threads;
 }
 
+/// One "shards" array (from the measured run or a store_comparison entry):
+/// every entry internally consistent (universe == scored + pruned) and the
+/// shard universes summing to `expect_universe`. This is the ownership
+/// invariant that makes sharded and monolithic runs score the same pair
+/// population — re-checked here from the emitted JSON alone.
+void validate_shards(const json::Array& shards, double expect_universe) {
+  if (shards.empty()) throw ParseError("shards is empty");
+  double universe_sum = 0.0;
+  for (const json::Value& entry : shards) {
+    for (const char* key :
+         {"grid_lo", "grid_hi", "rows", "universe_pairs", "scored_pairs",
+          "pruned_pairs", "cell_candidates", "wall_ms"})
+      if (entry.at(key).as_number() < 0.0)
+        throw ParseError(std::string("shard entry: negative ") + key);
+    const double universe = entry.at("universe_pairs").as_number();
+    if (entry.at("scored_pairs").as_number() +
+            entry.at("pruned_pairs").as_number() !=
+        universe)
+      throw ParseError("shard entry: scored + pruned != universe");
+    universe_sum += universe;
+  }
+  if (universe_sum != expect_universe)
+    throw ParseError(
+        "shards: per-shard universes do not sum to the blocking universe");
+}
+
 /// Checks one BENCH_pipeline.json against the schema this tool writes.
 /// Throws ParseError with the offending key on any mismatch.
 void validate_bench(const json::Value& root) {
   if (!root.is_object()) throw ParseError("root is not an object");
   if (root.at("schema_version").as_number() != kSchemaVersion)
-    throw ParseError("schema_version != 3");
+    throw ParseError("schema_version != 4");
   root.at("preset").as_string();
   root.at("seed").as_number();
   if (root.at("threads").as_number() < 1.0)
@@ -133,6 +172,11 @@ void validate_bench(const json::Value& root) {
     throw ParseError("blocking.prune_ratio < 1");
   if (blocking.at("forced_train_pairs").as_number() < 0.0)
     throw ParseError("blocking.forced_train_pairs is negative");
+
+  // The shards section is optional (absent when the measured run was
+  // monolithic); when present its universes must sum to the blocking one.
+  if (root.contains("shards"))
+    validate_shards(root.at("shards").as_array(), universe_pairs);
 
   const json::Value& cache = root.at("cache");
   for (const char* key : {"hits", "misses", "bytes"})
@@ -186,6 +230,46 @@ void validate_bench(const json::Value& root) {
                          "counts (determinism contract broken)");
     }
   }
+
+  // The store comparison is optional as a whole, but "store" and
+  // "store_comparison" only make sense together.
+  if (root.contains("store") != root.contains("store_comparison"))
+    throw ParseError("store and store_comparison must appear together");
+  if (root.contains("store_comparison")) {
+    const json::Value& store = root.at("store");
+    store.at("path").as_string();
+    for (const char* key : {"file_bytes", "rows", "convert_ms"})
+      if (store.at(key).as_number() < 0.0)
+        throw ParseError(std::string("store.") + key + " is negative");
+
+    const json::Array& comparison = root.at("store_comparison").as_array();
+    if (comparison.size() < 3)
+      throw ParseError(
+          "store_comparison needs in-memory, store, and sharded entries");
+    for (const json::Value& entry : comparison) {
+      entry.at("label").as_string();
+      const std::string source = entry.at("source").as_string();
+      if (source != "memory" && source != "store")
+        throw ParseError(
+            "store_comparison entry: source must be memory or store");
+      if (entry.at("shard_count").as_number() < 0.0)
+        throw ParseError("store_comparison entry: negative shard_count");
+      if (entry.at("wall_ms").as_number() < 0.0)
+        throw ParseError("store_comparison entry: negative wall_ms");
+      if (entry.at("peak_memory_bytes").as_number() < 0.0)
+        throw ParseError("store_comparison entry: negative peak_memory_bytes");
+      const double f1 = entry.at("f1").as_number();
+      if (f1 < 0.0 || f1 > 1.0)
+        throw ParseError("store_comparison entry: f1 outside [0, 1]");
+      entry.at("result_digest").as_string();
+      if (!entry.at("identical").as_bool())
+        throw ParseError("store_comparison entry: digest diverged from the "
+                         "in-memory run (store round-trip broke identity)");
+      if (entry.contains("shards"))
+        validate_shards(entry.at("shards").as_array(),
+                        entry.at("universe_pairs").as_number());
+    }
+  }
 }
 
 int run_validate(const std::string& path) {
@@ -212,7 +296,27 @@ struct RunOutcome {
   ml::Prf prf;
   std::string digest;
   std::size_t peak = 0;
+  std::size_t universe_pairs = 0;
+  std::vector<shard::ShardRunStats> shards;
 };
+
+/// Serializes per-shard run stats as the schema-v4 "shards" array.
+json::Array shard_section(const std::vector<shard::ShardRunStats>& stats) {
+  json::Array shards;
+  for (const shard::ShardRunStats& st : stats) {
+    json::Object entry;
+    entry["grid_lo"] = static_cast<std::size_t>(st.grid_lo);
+    entry["grid_hi"] = static_cast<std::size_t>(st.grid_hi);
+    entry["rows"] = static_cast<std::size_t>(st.rows);
+    entry["universe_pairs"] = static_cast<std::size_t>(st.universe_pairs);
+    entry["scored_pairs"] = static_cast<std::size_t>(st.scored_pairs);
+    entry["pruned_pairs"] = static_cast<std::size_t>(st.pruned_pairs);
+    entry["cell_candidates"] = static_cast<std::size_t>(st.cell_candidates);
+    entry["wall_ms"] = st.wall_ms;
+    shards.emplace_back(std::move(entry));
+  }
+  return shards;
+}
 
 RunOutcome run_attack_once(const eval::BenchPreset& preset,
                            const eval::Experiment& experiment,
@@ -229,6 +333,8 @@ RunOutcome run_attack_once(const eval::BenchPreset& preset,
   outcome.wall_ms = span.milliseconds();
   outcome.digest = eval::result_digest(attack.last_result());
   outcome.peak = context.peak_charged();
+  outcome.universe_pairs = attack.last_result().blocking.universe_pairs;
+  outcome.shards = attack.last_result().shards;
   return outcome;
 }
 
@@ -256,6 +362,13 @@ int run_bench(const util::ArgParser& args) {
   const std::string universe_arg = args.get("universe");
   if (universe_arg != "sampled" && universe_arg != "full")
     throw std::invalid_argument("--universe must be sampled or full");
+  const int shards_arg = args.get_int("shards");
+  if (shards_arg < 0)
+    throw std::invalid_argument("--shards must be >= 0");
+  preset.seeker.shards = static_cast<std::size_t>(shards_arg);
+  const std::string store_compare_arg = args.get("store-comparison");
+  if (store_compare_arg != "on" && store_compare_arg != "off")
+    throw std::invalid_argument("--store-comparison must be on or off");
 
   runtime::ExecutionContext context;
   preset.seeker.context = &context;
@@ -334,6 +447,7 @@ int run_bench(const util::ArgParser& args) {
   root["stages"] = std::move(stages);
   root["totals"] = std::move(totals);
   root["peak_memory_bytes"] = context.peak_charged();
+  if (!last.shards.empty()) root["shards"] = shard_section(last.shards);
 
   // Scaling sweep: one full re-run per requested thread count, after the
   // stage rollup above so its spans don't pollute the per-stage numbers.
@@ -367,9 +481,74 @@ int run_bench(const util::ArgParser& args) {
     par::set_threads(main_threads);
   }
 
+  const std::string out_path = args.get("out");
+
+  // Store comparison: round-trip the experiment's dataset through the
+  // columnar store, then re-run the attack in-memory, store-backed, and
+  // store-backed with 4 shards. Digest identity across all three modes is
+  // part of the schema contract (validate_bench rejects divergence), so CI
+  // tracks the out-of-core overhead in the same pass that proves the store
+  // and shard paths change nothing about the answer.
+  if (store_compare_arg == "on") {
+    const std::string store_path = out_path + ".fsst";
+    store::ConvertOptions convert_options;
+    convert_options.sigma = preset.seeker.sigma;
+    convert_options.tau_seconds = static_cast<geo::Timestamp>(
+        preset.seeker.tau_days * static_cast<double>(geo::kSecondsPerDay));
+    obs::Span convert_span("perf_bench.store.convert");
+    const store::ConvertStats convert_stats = store::write_store(
+        experiment.dataset, data::LoadReport{}, store_path, convert_options);
+    convert_span.end();
+
+    json::Object store_info;
+    store_info["path"] = store_path;
+    store_info["file_bytes"] = convert_stats.file_bytes;
+    store_info["rows"] = convert_stats.rows;
+    store_info["convert_ms"] = convert_span.milliseconds();
+
+    json::Array comparison;
+    const auto run_mode = [&](const char* label, bool from_store,
+                              std::size_t shard_count) {
+      eval::Experiment mode_experiment = experiment;
+      std::size_t mapped_resident = 0;
+      if (from_store) {
+        const store::MappedStore mapped = store::MappedStore::open(store_path);
+        mode_experiment.dataset = mapped.to_dataset();
+        mapped_resident = mapped.resident_bytes();
+        mapped.release_pages();
+      }
+      eval::BenchPreset mode_preset = preset;
+      mode_preset.seeker.shards = shard_count;
+      const RunOutcome outcome =
+          run_attack_once(mode_preset, mode_experiment, main_threads);
+      json::Object entry;
+      entry["label"] = label;
+      entry["source"] = from_store ? "store" : "memory";
+      entry["shard_count"] = shard_count;
+      entry["wall_ms"] = outcome.wall_ms;
+      entry["peak_memory_bytes"] = outcome.peak + mapped_resident;
+      entry["f1"] = outcome.prf.f1;
+      entry["result_digest"] = outcome.digest;
+      entry["identical"] = outcome.digest == main_digest;
+      if (!outcome.shards.empty()) {
+        entry["universe_pairs"] = outcome.universe_pairs;
+        entry["shards"] = shard_section(outcome.shards);
+      }
+      std::printf("store-comparison: %-14s wall=%.0fms peak=%zu digest=%s%s\n",
+                  label, outcome.wall_ms, outcome.peak + mapped_resident,
+                  outcome.digest.c_str(),
+                  outcome.digest == main_digest ? "" : " MISMATCH");
+      comparison.emplace_back(std::move(entry));
+    };
+    run_mode("in-memory", false, 0);
+    run_mode("store", true, 0);
+    run_mode("store+4-shards", true, 4);
+    root["store"] = std::move(store_info);
+    root["store_comparison"] = std::move(comparison);
+  }
+
   const json::Value bench(std::move(root));
   validate_bench(bench);  // never ship a file the validator would reject
-  const std::string out_path = args.get("out");
   json::write_file(out_path, bench, 2);
   std::printf("wrote %s (preset=%s F1=%.4f wall=%.0fms)\n", out_path.c_str(),
               preset_name.c_str(), prf.f1, total_span.milliseconds());
@@ -398,6 +577,13 @@ int main(int argc, char** argv) {
                   "comma-separated thread counts (e.g. 1,2,4,8): re-run per "
                   "count and emit the scaling section with byte-identity "
                   "digests");
+  args.add_option("shards", "0",
+                  "quadtree shard count for the measured run (0 = monolithic; "
+                  ">= 1 emits the per-shard stats section)");
+  args.add_option("store-comparison", "on",
+                  "re-run via the columnar store (in-memory vs store-backed "
+                  "vs store+4-shards) and emit the store_comparison section: "
+                  "on | off");
   args.add_option("blocking", "auto",
                   "candidate blocking for the measured run: on | off | auto");
   args.add_option("universe", "sampled",
