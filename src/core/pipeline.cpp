@@ -80,6 +80,9 @@ std::uint64_t run_fingerprint(const FriendSeekerConfig& config,
   mix(config.sigma);
   mix(static_cast<std::uint64_t>(config.tau_days * 1e6));
   mix(config.presence.feature_dim);
+  // The quantized-KNN knob can flip decisions near the prune slack, so a
+  // checkpoint written under one distance path never seeds the other.
+  mix(static_cast<std::uint64_t>(config.presence.knn_quantize));
   mix(static_cast<std::uint64_t>(config.phase2_classifier));
   // Blocking changes which rows are ever scored, so a checkpoint written
   // under one blocking configuration must not seed a run under another.
@@ -432,6 +435,10 @@ FriendSeekerResult FriendSeeker::run(
   std::optional<PresenceModel> presence_storage;
   if (resumed.has_value()) {
     presence_storage = std::move(*resumed->presence);
+    // The quantize knob is runtime-only (never serialized); re-apply it to
+    // the restored model. The fingerprint already guarantees it matches
+    // the flag the checkpoint was written under.
+    presence_storage->set_knn_quantize(config_.presence.knn_quantize);
     result.resumed_from_iteration = resumed->iteration;
     diagnostics.report(util::Severity::kInfo, ErrorCode::kIo, "pipeline",
                        "resumed from checkpoint at iteration " +

@@ -1,0 +1,124 @@
+// AVX2+FMA path: 4x8 register tile of double (4 rows x two 256-bit
+// columns, 8 ymm accumulators), FMA accumulation in ascending-k order.
+// Compiled with -mavx2 -mfma on x86-64 builds; on any other toolchain the
+// TU degrades to a null vtable and dispatch never selects it.
+#include <cstddef>
+#include <cstdint>
+
+#include "kern/kern_internal.h"
+
+#if defined(__x86_64__) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "kern/gemm_body.h"
+
+namespace fs::kern::detail {
+
+namespace {
+
+struct Avx2Arch {
+  static constexpr std::size_t kMr = 4;
+  static constexpr std::size_t kNr = 8;
+
+  static void micro_kernel(std::size_t kc, const double* ap, const double* bp,
+                           double* acc) {
+    __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+    __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+    __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+    __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < kc; ++p) {
+      // Panel bases are 64-byte aligned and strides are multiples of 32
+      // bytes, so aligned loads are safe.
+      const __m256d b0 = _mm256_load_pd(bp + p * kNr);
+      const __m256d b1 = _mm256_load_pd(bp + p * kNr + 4);
+      const double* arow = ap + p * kMr;
+      __m256d a = _mm256_broadcast_sd(arow + 0);
+      c00 = _mm256_fmadd_pd(a, b0, c00);
+      c01 = _mm256_fmadd_pd(a, b1, c01);
+      a = _mm256_broadcast_sd(arow + 1);
+      c10 = _mm256_fmadd_pd(a, b0, c10);
+      c11 = _mm256_fmadd_pd(a, b1, c11);
+      a = _mm256_broadcast_sd(arow + 2);
+      c20 = _mm256_fmadd_pd(a, b0, c20);
+      c21 = _mm256_fmadd_pd(a, b1, c21);
+      a = _mm256_broadcast_sd(arow + 3);
+      c30 = _mm256_fmadd_pd(a, b0, c30);
+      c31 = _mm256_fmadd_pd(a, b1, c31);
+    }
+    _mm256_store_pd(acc + 0 * kNr, c00);
+    _mm256_store_pd(acc + 0 * kNr + 4, c01);
+    _mm256_store_pd(acc + 1 * kNr, c10);
+    _mm256_store_pd(acc + 1 * kNr + 4, c11);
+    _mm256_store_pd(acc + 2 * kNr, c20);
+    _mm256_store_pd(acc + 2 * kNr + 4, c21);
+    _mm256_store_pd(acc + 3 * kNr, c30);
+    _mm256_store_pd(acc + 3 * kNr + 4, c31);
+  }
+
+  static float lb_row(const std::uint8_t* codes, std::size_t dim,
+                      const float* query, const float* scale,
+                      const float* offset, const float* half_scale) {
+    const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+    const __m256 zero = _mm256_setzero_ps();
+    __m256 acc = zero;
+    std::size_t c = 0;
+    for (; c + 8 <= dim; c += 8) {
+      const __m128i raw =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + c));
+      const __m256 code = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw));
+      const __m256 reconstructed = _mm256_fmadd_ps(
+          _mm256_loadu_ps(scale + c), code, _mm256_loadu_ps(offset + c));
+      const __m256 diff =
+          _mm256_andnot_ps(sign_mask,
+                           _mm256_sub_ps(_mm256_loadu_ps(query + c),
+                                         reconstructed));
+      const __m256 gap = _mm256_max_ps(
+          _mm256_sub_ps(diff, _mm256_loadu_ps(half_scale + c)), zero);
+      acc = _mm256_fmadd_ps(gap, gap, acc);
+    }
+    // Fixed-order lane reduction: (lo half + hi half), then pairwise.
+    const __m128 halves = _mm_add_ps(_mm256_castps256_ps128(acc),
+                                     _mm256_extractf128_ps(acc, 1));
+    const __m128 pairs = _mm_add_ps(halves, _mm_movehl_ps(halves, halves));
+    float total = _mm_cvtss_f32(
+        _mm_add_ss(pairs, _mm_shuffle_ps(pairs, pairs, 0x1)));
+    for (; c < dim; ++c) {
+      const float reconstructed =
+          offset[c] + scale[c] * static_cast<float>(codes[c]);
+      const float gap = std::fabs(query[c] - reconstructed) - half_scale[c];
+      if (gap > 0.0f) total += gap * gap;
+    }
+    return total;
+  }
+};
+
+void gemm_entry(const GemmCall& call) { run_gemm<Avx2Arch>(call); }
+
+void lb_entry(const std::uint8_t* codes, std::size_t n, std::size_t dim,
+              const float* query, const float* scale, const float* offset,
+              const float* half_scale, float* out_lb) {
+  run_knn_lb<Avx2Arch>(codes, n, dim, query, scale, offset, half_scale,
+                       out_lb);
+}
+
+}  // namespace
+
+const VTable* vtable_avx2() {
+  static const VTable table{&gemm_entry, &lb_entry};
+  return &table;
+}
+
+}  // namespace fs::kern::detail
+
+#else  // portable build without AVX2: path compiled out
+
+namespace fs::kern::detail {
+
+const VTable* vtable_avx2() { return nullptr; }
+
+}  // namespace fs::kern::detail
+
+#endif

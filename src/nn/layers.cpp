@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kern/kern.h"
+
 namespace fs::nn {
 
 double activate(Activation act, double x) {
@@ -17,22 +19,32 @@ double activate(Activation act, double x) {
 }
 
 namespace {
-/// Derivative with respect to pre-activation, given pre-activation `pre`.
-double activation_grad(Activation act, double pre) {
+
+/// The kernel epilogue computing act(pre + bias) for this activation.
+kern::Epilogue epilogue_for(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return kern::Epilogue::kBias;
+    case Activation::kRelu: return kern::Epilogue::kBiasRelu;
+    case Activation::kSigmoid: return kern::Epilogue::kBiasSigmoid;
+    case Activation::kTanh: return kern::Epilogue::kBiasTanh;
+  }
+  throw std::logic_error("epilogue_for: unknown activation");
+}
+
+/// Derivative with respect to pre-activation, expressed through the layer
+/// OUTPUT `out = act(pre)`. Numerically identical to the pre-activation
+/// forms (sigmoid'/tanh' recompute the same value the forward pass already
+/// produced), but needs only one cached matrix.
+double activation_grad_from_output(Activation act, double out) {
   switch (act) {
     case Activation::kIdentity: return 1.0;
-    case Activation::kRelu: return pre > 0.0 ? 1.0 : 0.0;
-    case Activation::kSigmoid: {
-      const double s = 1.0 / (1.0 + std::exp(-pre));
-      return s * (1.0 - s);
-    }
-    case Activation::kTanh: {
-      const double t = std::tanh(pre);
-      return 1.0 - t * t;
-    }
+    case Activation::kRelu: return out > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: return out * (1.0 - out);
+    case Activation::kTanh: return 1.0 - out * out;
   }
-  throw std::logic_error("activation_grad: unknown activation");
+  throw std::logic_error("activation_grad_from_output: unknown activation");
 }
+
 }  // namespace
 
 Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act,
@@ -83,42 +95,54 @@ Dense Dense::load(util::BinaryReader& reader) {
   return Dense(std::move(weights), std::move(bias), act);
 }
 
-Matrix Dense::forward(const Matrix& input) {
-  cached_input_ = input;
-  cached_pre_ = matmul_nt(input, weights_);
-  for (std::size_t r = 0; r < cached_pre_.rows(); ++r)
-    for (std::size_t c = 0; c < cached_pre_.cols(); ++c)
-      cached_pre_(r, c) += bias_[c];
-  Matrix out = cached_pre_;
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out.data()[i] = activate(activation_, out.data()[i]);
-  return out;
+const Matrix& Dense::forward(const Matrix& input) {
+  if (input.cols() != in_dim())
+    throw std::invalid_argument("Dense::forward: input width mismatch");
+  cached_input_ = input;  // capacity-reusing copy
+  cached_output_.resize(input.rows(), out_dim());
+  // One fused kernel: GEMM against W^T with bias+activation applied during
+  // tile writeback — no second pass over the batch.
+  kern::gemm_nt(input.rows(), out_dim(), in_dim(), input.data(),
+                input.cols(), weights_.data(), weights_.cols(),
+                cached_output_.data(), out_dim(), /*accumulate=*/false,
+                epilogue_for(activation_), bias_.data());
+  return cached_output_;
 }
 
 Matrix Dense::infer(const Matrix& input) const {
-  Matrix pre = matmul_nt(input, weights_);
-  for (std::size_t r = 0; r < pre.rows(); ++r)
-    for (std::size_t c = 0; c < pre.cols(); ++c) pre(r, c) += bias_[c];
-  for (std::size_t i = 0; i < pre.size(); ++i)
-    pre.data()[i] = activate(activation_, pre.data()[i]);
-  return pre;
+  if (input.cols() != in_dim())
+    throw std::invalid_argument("Dense::infer: input width mismatch");
+  Matrix out(input.rows(), out_dim());
+  kern::gemm_nt(input.rows(), out_dim(), in_dim(), input.data(),
+                input.cols(), weights_.data(), weights_.cols(), out.data(),
+                out_dim(), /*accumulate=*/false, epilogue_for(activation_),
+                bias_.data());
+  return out;
+}
+
+void Dense::backward_into(const Matrix& d_output, Matrix* d_input) {
+  if (cached_output_.rows() != d_output.rows() ||
+      cached_output_.cols() != d_output.cols())
+    throw std::logic_error("Dense::backward: no matching forward cache");
+  // dPre = dOut ∘ act'(out)
+  d_pre_ = d_output;
+  for (std::size_t i = 0; i < d_pre_.size(); ++i)
+    d_pre_.data()[i] *=
+        activation_grad_from_output(activation_, cached_output_.data()[i]);
+  // Parameter gradients accumulate directly inside the kernel (C += A^T B)
+  // — no temporary gradient matrix, no second pass.
+  matmul_tn_into(d_pre_, cached_input_, grad_weights_, /*accumulate=*/true);
+  for (std::size_t r = 0; r < d_pre_.rows(); ++r)
+    for (std::size_t c = 0; c < d_pre_.cols(); ++c)
+      grad_bias_[c] += d_pre_(r, c);
+  // dInput = dPre * W — skipped when nobody reads it (bottom layers).
+  if (d_input != nullptr) matmul_nn_into(d_pre_, weights_, *d_input);
 }
 
 Matrix Dense::backward(const Matrix& d_output) {
-  if (cached_pre_.rows() != d_output.rows() ||
-      cached_pre_.cols() != d_output.cols())
-    throw std::logic_error("Dense::backward: no matching forward cache");
-  // dPre = dOut ∘ act'(pre)
-  Matrix d_pre = d_output;
-  for (std::size_t i = 0; i < d_pre.size(); ++i)
-    d_pre.data()[i] *= activation_grad(activation_, cached_pre_.data()[i]);
-  // Accumulate parameter gradients.
-  grad_weights_ += matmul_tn(d_pre, cached_input_);
-  for (std::size_t r = 0; r < d_pre.rows(); ++r)
-    for (std::size_t c = 0; c < d_pre.cols(); ++c)
-      grad_bias_[c] += d_pre(r, c);
-  // dInput = dPre * W
-  return matmul_nn(d_pre, weights_);
+  Matrix d_input;
+  backward_into(d_output, &d_input);
+  return d_input;
 }
 
 void Dense::apply_gradients(double learning_rate) {
@@ -142,6 +166,7 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, Activation hidden,
     const bool last = (i + 2 == dims.size());
     layers_.emplace_back(dims[i], dims[i + 1], last ? output : hidden, rng);
   }
+  d_input_.resize(layers_.size());
 }
 
 Mlp::Mlp(std::vector<Dense> layers) : layers_(std::move(layers)) {
@@ -150,6 +175,7 @@ Mlp::Mlp(std::vector<Dense> layers) : layers_(std::move(layers)) {
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i)
     if (layers_[i].out_dim() != layers_[i + 1].in_dim())
       throw std::invalid_argument("Mlp: layer dimension mismatch");
+  d_input_.resize(layers_.size());
 }
 
 void Mlp::save(util::BinaryWriter& writer) const {
@@ -169,10 +195,12 @@ Mlp Mlp::load(util::BinaryReader& reader) {
   return Mlp(std::move(layers));
 }
 
-Matrix Mlp::forward(const Matrix& input) {
-  Matrix current = input;
-  for (Dense& layer : layers_) current = layer.forward(current);
-  return current;
+const Matrix& Mlp::forward(const Matrix& input) {
+  // Activations chain through each layer's cache; no intermediate copies
+  // beyond the per-layer input cache backward() needs anyway.
+  const Matrix* current = &input;
+  for (Dense& layer : layers_) current = &layer.forward(*current);
+  return *current;
 }
 
 Matrix Mlp::infer(const Matrix& input) const {
@@ -181,11 +209,15 @@ Matrix Mlp::infer(const Matrix& input) const {
   return current;
 }
 
-Matrix Mlp::backward(const Matrix& d_output) {
-  Matrix current = d_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    current = it->backward(current);
-  return current;
+const Matrix& Mlp::backward(const Matrix& d_output, bool need_input_grad) {
+  if (!need_input_grad) d_input_[0].resize(0, 0);  // never return stale bits
+  const Matrix* current = &d_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const bool need = i > 0 || need_input_grad;
+    layers_[i].backward_into(*current, need ? &d_input_[i] : nullptr);
+    current = &d_input_[i];
+  }
+  return d_input_[0];
 }
 
 void Mlp::apply_gradients(double learning_rate) {

@@ -2,6 +2,14 @@
 // gradient accumulation, so Algorithm 1's sequential two-loss update can be
 // expressed faithfully (compute both gradient sets at the forward point,
 // then apply).
+//
+// Hot-path shape: forward runs one fused GEMM (bias + activation applied
+// in the kernel's tile writeback — no second pass over the batch), caches
+// the layer *output*, and derives the activation gradient from it in
+// backward (ReLU: out > 0; sigmoid: s(1-s); tanh: 1-t² — identical values
+// to the pre-activation forms, one cached matrix instead of two). All
+// per-batch buffers are reused members, so steady-state training allocates
+// nothing.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +39,9 @@ class Dense {
   std::size_t out_dim() const { return weights_.rows(); }
   Activation activation() const { return activation_; }
 
-  /// Forward pass; caches input and pre-activations for backward().
-  Matrix forward(const Matrix& input);
+  /// Forward pass; caches input and output for backward(). The returned
+  /// reference is into this layer and stays valid until the next forward.
+  const Matrix& forward(const Matrix& input);
 
   /// Forward without caching (inference).
   Matrix infer(const Matrix& input) const;
@@ -40,6 +49,11 @@ class Dense {
   /// Accumulates weight/bias gradients from dL/d(output) and returns
   /// dL/d(input). Requires a preceding forward() on the same batch.
   Matrix backward(const Matrix& d_output);
+
+  /// backward() with the input gradient written to *d_input (reusing its
+  /// capacity), or skipped entirely when d_input is null — the bottom
+  /// layer of a network whose input gradient nobody reads saves a GEMM.
+  void backward_into(const Matrix& d_output, Matrix* d_input);
 
   /// SGD step with the accumulated gradients, then clears them.
   void apply_gradients(double learning_rate);
@@ -63,9 +77,10 @@ class Dense {
   Matrix grad_weights_;
   std::vector<double> grad_bias_;
 
-  // Forward caches.
+  // Forward caches and backward scratch (all capacity-reusing).
   Matrix cached_input_;
-  Matrix cached_pre_;  // pre-activation
+  Matrix cached_output_;  // post-activation
+  Matrix d_pre_;
 };
 
 /// A plain MLP: a stack of Dense layers trained with SGD.
@@ -79,12 +94,17 @@ class Mlp {
   /// Reconstructs a network from trained layers (deserialization).
   explicit Mlp(std::vector<Dense> layers);
 
-  Matrix forward(const Matrix& input);
+  /// Returns a reference into the last layer's cache, valid until the
+  /// next forward — activations chain layer to layer without copies.
+  const Matrix& forward(const Matrix& input);
   Matrix infer(const Matrix& input) const;
 
   /// Backpropagates dL/d(output), accumulating gradients; returns
-  /// dL/d(input).
-  Matrix backward(const Matrix& d_output);
+  /// dL/d(input) (a reference into this network, valid until the next
+  /// backward). With need_input_grad false the bottom layer's input
+  /// gradient is never computed and the returned matrix is empty.
+  const Matrix& backward(const Matrix& d_output,
+                         bool need_input_grad = true);
 
   void apply_gradients(double learning_rate);
   void clear_gradients();
@@ -101,6 +121,8 @@ class Mlp {
 
  private:
   std::vector<Dense> layers_;
+  // d_input_[i] = dL/d(input of layer i); reused every backward pass.
+  std::vector<Matrix> d_input_;
 };
 
 }  // namespace fs::nn

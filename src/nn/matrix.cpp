@@ -2,25 +2,19 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 
-#include "par/par.h"
+#include "kern/kern.h"
 
 namespace fs::nn {
 
 namespace {
 
-/// Output rows are independent in every GEMM variant below, so they fan
-/// out across the pool. The grain is sized from the per-row flop count
-/// alone (never the thread count): small products — autoencoder
-/// mini-batches — collapse to a single chunk and run inline, paying
-/// nothing; the wide batch-encode products split into many chunks. Each
-/// output element accumulates over k in ascending order in both the
-/// sequential and parallel paths, so results are bit-identical either way.
-par::ParallelOptions gemm_options(std::size_t per_row_ops, const char* what) {
-  par::ParallelOptions options;
-  options.what = what;
-  options.grain = par::grain_for(per_row_ops, std::size_t{1} << 17);
-  return options;
+void check_into_shape(const Matrix& c, std::size_t rows, std::size_t cols,
+                      bool accumulate, const char* what) {
+  if (accumulate && (c.rows() != rows || c.cols() != cols))
+    throw std::invalid_argument(std::string(what) +
+                                ": accumulate into mismatched shape");
 }
 
 }  // namespace
@@ -71,10 +65,16 @@ void Matrix::set_row(std::size_t dst_row, const Matrix& src,
 }
 
 Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
+  Matrix out;
+  gather_rows_into(indices, out);
+  return out;
+}
+
+void Matrix::gather_rows_into(const std::vector<std::size_t>& indices,
+                              Matrix& out) const {
+  out.resize(indices.size(), cols_);
   for (std::size_t i = 0; i < indices.size(); ++i)
     out.set_row(i, *this, indices[i]);
-  return out;
 }
 
 double Matrix::squared_difference(const Matrix& x, const Matrix& y) {
@@ -88,64 +88,54 @@ double Matrix::squared_difference(const Matrix& x, const Matrix& y) {
   return total;
 }
 
-Matrix matmul_nn(const Matrix& a, const Matrix& b) {
+// The three GEMM variants delegate to fs::kern, which blocks, packs, and
+// fans MC row-blocks across fs::par deterministically (see kern.h).
+
+void matmul_nn_into(const Matrix& a, const Matrix& b, Matrix& c,
+                    bool accumulate) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("matmul_nn: inner dimension mismatch");
-  Matrix c(a.rows(), b.cols());
-  // i-k-j order: streams through b and c rows sequentially.
-  par::parallel_for(
-      a.rows(), gemm_options(a.cols() * b.cols(), "nn.matmul_nn"),
-      [&](std::size_t i) {
-        double* crow = c.row(i);
-        const double* arow = a.row(i);
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-          const double aik = arow[k];
-          if (aik == 0.0) continue;
-          const double* brow = b.row(k);
-          for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-        }
-      });
+  check_into_shape(c, a.rows(), b.cols(), accumulate, "matmul_nn_into");
+  if (!accumulate) c.resize(a.rows(), b.cols());
+  kern::gemm_nn(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), b.data(),
+                b.cols(), c.data(), b.cols(), accumulate);
+}
+
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c,
+                    bool accumulate) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("matmul_nt: inner dimension mismatch");
+  check_into_shape(c, a.rows(), b.rows(), accumulate, "matmul_nt_into");
+  if (!accumulate) c.resize(a.rows(), b.rows());
+  kern::gemm_nt(a.rows(), b.rows(), a.cols(), a.data(), a.cols(), b.data(),
+                b.cols(), c.data(), b.rows(), accumulate);
+}
+
+void matmul_tn_into(const Matrix& a, const Matrix& b, Matrix& c,
+                    bool accumulate) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("matmul_tn: inner dimension mismatch");
+  check_into_shape(c, a.cols(), b.cols(), accumulate, "matmul_tn_into");
+  if (!accumulate) c.resize(a.cols(), b.cols());
+  kern::gemm_tn(a.cols(), b.cols(), a.rows(), a.data(), a.cols(), b.data(),
+                b.cols(), c.data(), b.cols(), accumulate);
+}
+
+Matrix matmul_nn(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_nn_into(a, b, c);
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.cols())
-    throw std::invalid_argument("matmul_nt: inner dimension mismatch");
-  Matrix c(a.rows(), b.rows());
-  // Dot products of contiguous rows: ideal locality.
-  par::parallel_for(
-      a.rows(), gemm_options(a.cols() * b.rows(), "nn.matmul_nt"),
-      [&](std::size_t i) {
-        const double* arow = a.row(i);
-        double* crow = c.row(i);
-        for (std::size_t j = 0; j < b.rows(); ++j) {
-          const double* brow = b.row(j);
-          double acc = 0.0;
-          for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-          crow[j] = acc;
-        }
-      });
+  Matrix c;
+  matmul_nt_into(a, b, c);
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
-  if (a.rows() != b.rows())
-    throw std::invalid_argument("matmul_tn: inner dimension mismatch");
-  Matrix c(a.cols(), b.cols());
-  // Row-parallel orientation: each output row i accumulates over k in
-  // ascending order (the same per-element order as a k-major sweep), so
-  // the restructuring is invisible in the bits.
-  par::parallel_for(
-      a.cols(), gemm_options(a.rows() * b.cols(), "nn.matmul_tn"),
-      [&](std::size_t i) {
-        double* crow = c.row(i);
-        for (std::size_t k = 0; k < a.rows(); ++k) {
-          const double aki = a(k, i);
-          if (aki == 0.0) continue;
-          const double* brow = b.row(k);
-          for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-        }
-      });
+  Matrix c;
+  matmul_tn_into(a, b, c);
   return c;
 }
 

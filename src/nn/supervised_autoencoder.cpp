@@ -178,6 +178,14 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
           ? 1.0 / static_cast<double>(inputs.cols())
           : 1.0;
 
+  // Per-batch scratch, hoisted so steady-state iterations reuse capacity
+  // instead of allocating: batch index list, gathered inputs, and the two
+  // loss gradients. Forward/backward activations live inside the Mlps.
+  std::vector<std::size_t> batch;
+  Matrix x;
+  Matrix d_recon;
+  Matrix d_logit;
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     if (config_.context != nullptr) {
       config_.context->throw_if_cancelled("nn.train");
@@ -212,19 +220,20 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
          start += config_.batch_size) {
       const std::size_t end =
           std::min(order.size(), start + config_.batch_size);
-      const std::vector<std::size_t> batch(order.begin() + start,
-                                           order.begin() + end);
+      batch.assign(order.begin() + start, order.begin() + end);
       const auto n = static_cast<double>(batch.size());
 
-      const Matrix x = inputs.gather_rows(batch);
+      inputs.gather_rows_into(batch, x);
 
       // ---- Forward through all three networks. ----
-      const Matrix code = encoder_.forward(x);
-      const Matrix recon = decoder_.forward(code);
-      const Matrix logit = classifier_.forward(code);
+      // References into the networks' layer caches; valid until the next
+      // forward on the same network.
+      const Matrix& code = encoder_.forward(x);
+      const Matrix& recon = decoder_.forward(code);
+      const Matrix& logit = classifier_.forward(code);
 
       // ---- L_auto step (Algorithm 1 lines 11-14): update A with beta. ----
-      Matrix d_recon = recon;
+      d_recon = recon;
       d_recon -= x;
       const double batch_recon_loss = util::failpoint::corrupt(
           "nn.train.nan", Matrix::squared_difference(recon, x) / n *
@@ -233,15 +242,17 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
       d_recon *= 2.0 / n * elem_norm;
       if (want_grad_norm) grad_sq += squared_sum(d_recon);
       clip_elements(d_recon, config_.gradient_clip);
-      const Matrix d_code_auto = decoder_.backward(d_recon);
-      encoder_.backward(d_code_auto);
+      const Matrix& d_code_auto = decoder_.backward(d_recon);
+      // Nothing reads dL/dx, so the encoder's bottom input-gradient GEMM
+      // is skipped outright.
+      encoder_.backward(d_code_auto, /*need_input_grad=*/false);
       decoder_.apply_gradients(learning_rate);
       encoder_.apply_gradients(learning_rate);
 
       // ---- L_cla step for the classifier (lines 15-18). ----
       // The head emits a logit; BCE-after-sigmoid gives the stable gradient
       // (sigmoid(logit) - y) / n.
-      Matrix d_logit(logit.rows(), 1);
+      d_logit.resize(logit.rows(), 1);
       double batch_cla_loss = 0.0;
       for (std::size_t r = 0; r < logit.rows(); ++r) {
         const double p = 1.0 / (1.0 + std::exp(-logit(r, 0)));
@@ -254,11 +265,11 @@ std::vector<EpochStats> SupervisedAutoencoder::train_once(
       stats.classification_loss += batch_cla_loss;
       if (want_grad_norm) grad_sq += squared_sum(d_logit);
       clip_elements(d_logit, config_.gradient_clip);
-      const Matrix d_code_cla = classifier_.backward(d_logit);
+      const Matrix& d_code_cla = classifier_.backward(d_logit);
       classifier_.apply_gradients(learning_rate);
 
       // ---- L_cla step for the encoder with alpha*beta (lines 19-22). ----
-      encoder_.backward(d_code_cla);
+      encoder_.backward(d_code_cla, /*need_input_grad=*/false);
       encoder_.apply_gradients(config_.alpha * learning_rate);
 
       if (!std::isfinite(batch_recon_loss) || !std::isfinite(batch_cla_loss))

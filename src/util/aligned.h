@@ -1,0 +1,53 @@
+// 64-byte-aligned allocation for SIMD-facing buffers.
+//
+// The kernel layer (fs::kern) loads matrix rows and packed panels with
+// vector instructions; the columnar store already writes its columns on
+// 64-byte boundaries. This allocator makes in-memory Matrix storage agree
+// with both conventions, so a cache line (and an AVX-512 register) never
+// straddles an allocation's first element.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace fs::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal std-compatible allocator over ::operator new(align).
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace fs::util

@@ -20,6 +20,7 @@
 #include "eval/digest.h"
 #include "eval/harness.h"
 #include "eval/presets.h"
+#include "kern/kern.h"
 #include "obs/json.h"
 
 #ifndef FS_GOLDEN_DIR
@@ -33,14 +34,19 @@ namespace json = obs::json;
 
 std::string golden_path() { return std::string(FS_GOLDEN_DIR) + "/tiny.json"; }
 
-/// Compiler + C library fingerprint: digests are only bit-comparable
-/// between builds that agree on it.
+/// Compiler + C library + kernel-path fingerprint: digests are only
+/// bit-comparable between builds that agree on it. The active fs::kern
+/// ISA path is part of the fingerprint because each path has its own
+/// (fixed, thread-count-invariant) accumulation order — an FS_KERNEL
+/// override or a host without AVX-512 legitimately produces different
+/// low-order bits than the pinned run.
 std::string toolchain_fingerprint() {
   std::ostringstream oss;
   oss << __VERSION__;
 #ifdef __GLIBC__
   oss << " glibc-" << __GLIBC__ << "." << __GLIBC_MINOR__;
 #endif
+  oss << " kern-" << kern::path_name(kern::active_path());
   return oss.str();
 }
 

@@ -344,6 +344,10 @@ int cmd_attack(int argc, char** argv) {
                   "worker threads for parallel regions (0 = FS_THREADS env "
                   "or hardware concurrency); results are identical for any "
                   "value");
+  args.add_option("knn-quantize", "off",
+                  "on | off: route phase-1 KNN through the int8 "
+                  "lower-bound distance engine (pruned rows skip the exact "
+                  "distance; survivors are re-ranked in full precision)");
   args.add_flag("baselines", "also run the four baseline attacks");
   args.add_flag("strict", "abort on the first malformed input line (default)");
   args.add_flag("permissive",
@@ -426,6 +430,10 @@ int cmd_attack(int argc, char** argv) {
                   : std::max<std::size_t>(40, ds.poi_count() / 8);
   cfg.tau_days = args.get_double("tau");
   cfg.presence.feature_dim = static_cast<std::size_t>(args.get_int("dim"));
+  const std::string knn_quantize = args.get("knn-quantize");
+  if (knn_quantize != "on" && knn_quantize != "off")
+    throw std::invalid_argument("--knn-quantize must be on or off");
+  cfg.presence.knn_quantize = knn_quantize == "on";
   cfg.k = static_cast<int>(args.get_int("k"));
   cfg.max_iterations = args.get_int("max-iterations") > 0
                            ? static_cast<int>(args.get_int("max-iterations"))

@@ -20,8 +20,17 @@
 // experiment's dataset through the columnar store and re-runs the attack
 // in-memory, store-backed, and store-backed with 4 shards, emitting the
 // "store_comparison" section (wall, peak memory, digest identity). The
-// schema-v4 validator re-checks the shard-ownership invariant — per-shard
-// scored + pruned sums to the universe — from the emitted JSON alone.
+// validator re-checks the shard-ownership invariant — per-shard scored +
+// pruned sums to the universe — from the emitted JSON alone.
+//
+// Schema v5 adds two sections the validator enforces:
+//   "kernel"       — the fs::kern ISA path the run executed on (active,
+//                    requested via FS_KERNEL, and every supported path).
+//   "knn_quantize" — a full re-run with the int8 KNN distance engine on,
+//                    graded against the measured run's iteration-0
+//                    (presence-only) decisions. recall@decision >= 0.99 is
+//                    a schema invariant: a file from a regressed quantizer
+//                    does not validate and never ships.
 //
 // --universe full extends the sampled test set with EVERY remaining user
 // pair, the population an attacker actually faces; quality is still scored
@@ -43,6 +52,7 @@
 #include "eval/digest.h"
 #include "eval/harness.h"
 #include "eval/presets.h"
+#include "kern/kern.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -59,7 +69,7 @@ namespace {
 using namespace fs;
 namespace json = obs::json;
 
-constexpr double kSchemaVersion = 4.0;
+constexpr double kSchemaVersion = 5.0;
 
 /// Runs the attack and grades the balanced test subset. Under --universe
 /// full the test list carries unlabeled extension pairs after the labeled
@@ -143,7 +153,7 @@ void validate_shards(const json::Array& shards, double expect_universe) {
 void validate_bench(const json::Value& root) {
   if (!root.is_object()) throw ParseError("root is not an object");
   if (root.at("schema_version").as_number() != kSchemaVersion)
-    throw ParseError("schema_version != 4");
+    throw ParseError("schema_version != 5");
   root.at("preset").as_string();
   root.at("seed").as_number();
   if (root.at("threads").as_number() < 1.0)
@@ -194,6 +204,44 @@ void validate_bench(const json::Value& root) {
     if (v < 0.0 || v > 1.0)
       throw ParseError(std::string("quality.") + key + " outside [0, 1]");
   }
+
+  const json::Value& kernel = root.at("kernel");
+  const std::string kernel_path = kernel.at("path").as_string();
+  if (kernel_path != "scalar" && kernel_path != "avx2" &&
+      kernel_path != "avx512")
+    throw ParseError("kernel.path must be scalar, avx2, or avx512");
+  kernel.at("requested").as_string();
+  const json::Array& available = kernel.at("available").as_array();
+  if (available.empty() || available.front().as_string() != "scalar")
+    throw ParseError("kernel.available must start with scalar");
+  bool active_listed = false;
+  for (const json::Value& p : available)
+    active_listed = active_listed || p.as_string() == kernel_path;
+  if (!active_listed)
+    throw ParseError("kernel.path is not in kernel.available");
+
+  // The quantized-KNN contract: the int8 lower-bound engine must reproduce
+  // at least 99% of the full-precision positive decisions at iteration 0,
+  // and its work counters must be internally consistent.
+  const json::Value& quant = root.at("knn_quantize");
+  if (quant.at("decisions").as_number() < 1.0)
+    throw ParseError("knn_quantize.decisions < 1");
+  const double recall = quant.at("recall_at_decision").as_number();
+  if (recall < 0.99 || recall > 1.0)
+    throw ParseError(
+        "knn_quantize.recall_at_decision violates the >= 0.99 contract");
+  const double agreement = quant.at("decision_agreement").as_number();
+  if (agreement < 0.0 || agreement > 1.0)
+    throw ParseError("knn_quantize.decision_agreement outside [0, 1]");
+  const double scanned = quant.at("rows_scanned").as_number();
+  const double exact_evals = quant.at("exact_evals").as_number();
+  if (scanned < 0.0 || exact_evals < 0.0 || exact_evals > scanned)
+    throw ParseError(
+        "knn_quantize.exact_evals outside [0, rows_scanned]");
+  if (quant.at("prune_ratio").as_number() < 1.0)
+    throw ParseError("knn_quantize.prune_ratio < 1");
+  if (quant.at("wall_ms").as_number() < 0.0)
+    throw ParseError("knn_quantize.wall_ms is negative");
 
   const json::Array& stages = root.at("stages").as_array();
   if (stages.empty()) throw ParseError("stages is empty");
@@ -430,6 +478,18 @@ int run_bench(const util::ArgParser& args) {
   cache["phase2_hit_rate"] = last.phase2_cache_hit_rate;
   cache["bytes"] = last.cache.bytes;
 
+  json::Object kernel;
+  kernel["path"] = std::string(kern::path_name(kern::active_path()));
+  kernel["requested"] = kern::requested_path().empty()
+                            ? std::string("auto")
+                            : kern::requested_path();
+  {
+    json::Array available;
+    for (const kern::IsaPath p : kern::supported_paths())
+      available.emplace_back(std::string(kern::path_name(p)));
+    kernel["available"] = std::move(available);
+  }
+
   json::Object root;
   root["schema_version"] = kSchemaVersion;
   root["preset"] = preset_name;
@@ -441,6 +501,7 @@ int run_bench(const util::ArgParser& args) {
   root["result_digest"] = main_digest;
   root["final_graph_digest"] = eval::graph_digest(last.final_graph);
   root["universe"] = universe_arg;
+  root["kernel"] = std::move(kernel);
   root["blocking"] = std::move(blocking);
   root["cache"] = std::move(cache);
   root["quality"] = std::move(quality);
@@ -479,6 +540,84 @@ int run_bench(const util::ArgParser& args) {
     }
     root["scaling"] = std::move(scaling);
     par::set_threads(main_threads);
+  }
+
+  // Quantized-KNN contract run: the same attack with the int8 distance
+  // engine on, graded against the measured run's iteration-0 decisions
+  // (the presence-only graph the quantizer actually influences). Runs
+  // after the stage rollup so its spans stay out of the per-stage numbers.
+  {
+    obs::Counter& evals_counter = obs::metrics().counter(
+        "ml.knn.quant.exact_evals_total", {},
+        "rows surviving the int8 lower bound to exact rerank");
+    obs::Counter& scanned_counter = obs::metrics().counter(
+        "ml.knn.quant.rows_scanned_total", {},
+        "candidate rows considered by the quantized KNN path");
+    const std::uint64_t evals_before = evals_counter.value();
+    const std::uint64_t scanned_before = scanned_counter.value();
+
+    eval::BenchPreset quant_preset = preset;
+    quant_preset.seeker.presence.knn_quantize = true;
+    runtime::ExecutionContext quant_context;
+    quant_preset.seeker.context = &quant_context;
+    obs::Span quant_span("perf_bench.knn_quantize.run");
+    eval::FriendSeekerAttack quant_attack(quant_preset.seeker);
+    run_graded(quant_attack, experiment);
+    quant_span.end();
+
+    const core::FriendSeekerResult& full_run = attack.last_result();
+    const core::FriendSeekerResult& quant_run = quant_attack.last_result();
+    const std::vector<int>& full0 =
+        full_run.iterations.empty() ? full_run.test_predictions
+                                    : full_run.iterations.front()
+                                          .test_predictions;
+    const std::vector<int>& quant0 =
+        quant_run.iterations.empty() ? quant_run.test_predictions
+                                     : quant_run.iterations.front()
+                                           .test_predictions;
+    const std::size_t decisions = std::min(full0.size(), quant0.size());
+    std::size_t agree = 0, positives = 0, recovered = 0;
+    for (std::size_t i = 0; i < decisions; ++i) {
+      agree += full0[i] == quant0[i];
+      if (full0[i] != 0) {
+        ++positives;
+        recovered += quant0[i] != 0;
+      }
+    }
+    const std::uint64_t exact_evals = evals_counter.value() - evals_before;
+    const std::uint64_t rows_scanned =
+        scanned_counter.value() - scanned_before;
+    const double recall =
+        positives > 0 ? static_cast<double>(recovered) /
+                            static_cast<double>(positives)
+                      : 1.0;
+
+    json::Object quant;
+    quant["decisions"] = decisions;
+    quant["positives_full_precision"] = positives;
+    quant["recall_at_decision"] = recall;
+    quant["decision_agreement"] =
+        decisions > 0
+            ? static_cast<double>(agree) / static_cast<double>(decisions)
+            : 1.0;
+    quant["rows_scanned"] = static_cast<std::size_t>(rows_scanned);
+    quant["exact_evals"] = static_cast<std::size_t>(exact_evals);
+    quant["prune_ratio"] =
+        exact_evals > 0 ? static_cast<double>(rows_scanned) /
+                              static_cast<double>(exact_evals)
+                        : 1.0;
+    quant["wall_ms"] = quant_span.milliseconds();
+    std::printf("knn-quantize: recall@decision=%.4f agreement=%.4f "
+                "prune=%.1fx wall=%.0fms\n",
+                recall,
+                decisions > 0 ? static_cast<double>(agree) /
+                                    static_cast<double>(decisions)
+                              : 1.0,
+                exact_evals > 0 ? static_cast<double>(rows_scanned) /
+                                      static_cast<double>(exact_evals)
+                                : 1.0,
+                quant_span.milliseconds());
+    root["knn_quantize"] = std::move(quant);
   }
 
   const std::string out_path = args.get("out");
