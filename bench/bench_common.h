@@ -11,6 +11,8 @@
 
 #include "eval/harness.h"
 #include "obs/trace.h"
+#include "scenario/config.h"
+#include "scenario/runner.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -100,44 +102,77 @@ inline void finish(const util::Table& table, const std::string& name,
   std::printf("csv: %s\n", out_path(name).c_str());
 }
 
-/// Shared driver for the three countermeasure benches (Figs 14-16): sweep
-/// the perturbation ratio 10-50 %, re-running every attack on the perturbed
-/// dataset while keeping the pair split fixed (the ground truth does not
-/// change, only the published check-ins).
-using ObfuscateFn = std::function<data::Dataset(
-    const data::Dataset&, double ratio, util::Rng&)>;
+/// The scenario-runner coordinate shared by the countermeasure benches
+/// (Figs 14-16): both paper worlds x one mechanism swept 10-50 %.
+inline scenario::ScenarioConfig obfuscation_scenario(
+    const std::string& bench_name, scenario::DefenseMechanism mechanism) {
+  scenario::ScenarioConfig config;
+  config.name = bench_name;
+  for (const char* preset : {"gowalla", "brightkite"}) {
+    scenario::WorldSpec world;
+    world.preset = preset;
+    config.worlds.push_back(world);
+  }
+  for (double ratio : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    scenario::DefenseSpec defense;
+    defense.mechanism = mechanism;
+    defense.rate = ratio;
+    config.defenses.push_back(defense);
+  }
+  config.attacks.push_back(scenario::AttackSpec{});
+  config.models.push_back(scenario::ModelSpec{});
+  config.dynamics.push_back(scenario::DynamicsSpec{});
+  return config;
+}
 
+/// Shared driver for the three countermeasure benches (Figs 14-16), built
+/// on the scenario runner: one declarative grid produces every FriendSeeker
+/// row (with cross-cell world + feature-cache reuse), and the baselines are
+/// graded on the IDENTICAL perturbed datasets, rebuilt through the runner's
+/// public resolution helpers (same defense seed, same pair split).
 inline void run_obfuscation_bench(const std::string& bench_name,
                                   const std::string& title,
-                                  const ObfuscateFn& mechanism) {
+                                  scenario::DefenseMechanism mechanism) {
   util::Table table(
       {"dataset", "ratio %", "attack", "F1", "precision", "recall"});
 
-  for (const auto& base : paper_worlds()) {
-    const eval::Experiment clean =
-        eval::make_experiment(sweep_world(base));
-    for (double ratio : {0.1, 0.2, 0.3, 0.4, 0.5}) {
-      util::Rng rng(base.seed ^ static_cast<std::uint64_t>(ratio * 1000));
+  const scenario::ScenarioConfig config =
+      obfuscation_scenario(bench_name, mechanism);
+  const scenario::MatrixResult matrix = scenario::run_scenario(config);
+
+  std::size_t cell_index = 0;
+  for (const scenario::WorldSpec& world : config.worlds) {
+    const std::string world_key = scenario::world_label(world);
+    const eval::Experiment clean = eval::make_experiment(
+        scenario::resolve_world(world, config.seed), {}, 0.7,
+        scenario::split_seed(config.seed));
+    for (const scenario::DefenseSpec& defense : config.defenses) {
+      const scenario::CellResult& cell = matrix.cells.at(cell_index++);
+      table.new_row()
+          .add(world_key)
+          .add(defense.rate * 100, 0)
+          .add("friendseeker")
+          .add(cell.quality.f1, 4)
+          .add(cell.quality.precision, 4)
+          .add(cell.quality.recall, 4);
+
       eval::Experiment perturbed;
-      perturbed.dataset = mechanism(clean.dataset, ratio, rng);
+      perturbed.dataset = scenario::apply_defense(
+          clean.dataset, defense,
+          scenario::defense_seed(config.seed, world_key,
+                                 scenario::defense_label(defense)));
       perturbed.split = clean.split;
       perturbed.name = clean.name;
-
-      auto record = [&](baselines::FriendshipAttack& attack) {
-        const ml::Prf prf = eval::run_attack(attack, perturbed);
+      for (const auto& baseline : eval::make_baselines()) {
+        const ml::Prf prf = eval::run_attack(*baseline, perturbed);
         table.new_row()
-            .add(perturbed.name)
-            .add(ratio * 100, 0)
-            .add(attack.name())
+            .add(world_key)
+            .add(defense.rate * 100, 0)
+            .add(baseline->name())
             .add(prf.f1, 4)
             .add(prf.precision, 4)
             .add(prf.recall, 4);
-      };
-
-      eval::FriendSeekerAttack seeker(sweep_seeker_config());
-      record(seeker);
-      for (const auto& baseline : eval::make_baselines())
-        record(*baseline);
+      }
     }
   }
 

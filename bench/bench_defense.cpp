@@ -1,17 +1,18 @@
 // FriendGuard bench (extension — the paper's stated future work): compares
-// the friendship-aware FriendGuard mechanism against the paper's three
-// generic countermeasures at EQUAL perturbation budget, measured by how far
-// each drives FriendSeeker's F1 down (lower = better defense) and by data
-// utility retained (fraction of check-ins left untouched at their original
-// POI and time).
+// the friendship-aware FriendGuard mechanism against the paper's two
+// strongest generic countermeasures at EQUAL perturbation budget, measured
+// by how far each drives FriendSeeker's F1 down (lower = better defense)
+// and by data utility retained (fraction of check-ins left untouched at
+// their original POI and time).
+//
+// Built on the scenario runner: one declarative grid (2 worlds x 7 defense
+// cells) produces every attack-F1 number, and the utility metric is
+// computed on the IDENTICAL protected datasets, replayed through the
+// runner's public apply_defense + defense_seed helpers.
 #include <set>
 #include <tuple>
 
 #include "bench_common.h"
-
-#include "data/defense.h"
-#include "data/obfuscation.h"
-#include "geo/quadtree.h"
 
 namespace {
 
@@ -43,43 +44,52 @@ int main() {
   bench::banner("bench_defense",
                 "extension — FriendGuard vs generic countermeasures");
 
+  scenario::ScenarioConfig config;
+  config.name = "defense";
+  for (const char* preset : {"gowalla", "brightkite"}) {
+    scenario::WorldSpec world;
+    world.preset = preset;
+    config.worlds.push_back(world);
+  }
+  config.defenses.push_back(scenario::DefenseSpec{});  // clean baseline
+  for (double budget : {0.2, 0.4}) {
+    for (scenario::DefenseMechanism mechanism :
+         {scenario::DefenseMechanism::kHiding,
+          scenario::DefenseMechanism::kBlurCross,
+          scenario::DefenseMechanism::kFriendGuard}) {
+      scenario::DefenseSpec defense;
+      defense.mechanism = mechanism;
+      defense.rate = budget;
+      config.defenses.push_back(defense);
+    }
+  }
+  config.attacks.push_back(scenario::AttackSpec{});
+  config.models.push_back(scenario::ModelSpec{});
+  config.dynamics.push_back(scenario::DynamicsSpec{});
+
+  const scenario::MatrixResult matrix = scenario::run_scenario(config);
+
   util::Table table({"dataset", "defense", "budget %", "attack F1",
                      "utility retained %"});
-
-  for (const auto& base : bench::paper_worlds()) {
-    const eval::Experiment clean = eval::make_experiment(
-        bench::sweep_world(base));
-    const geo::QuadtreeDivision division(clean.dataset.poi_coordinates(),
-                                         120);
-
-    auto evaluate = [&](const std::string& label,
-                        const data::Dataset& protected_ds, double budget) {
-      eval::Experiment perturbed;
-      perturbed.dataset = protected_ds;
-      perturbed.split = clean.split;
-      perturbed.name = clean.name;
-      eval::FriendSeekerAttack attack(bench::sweep_seeker_config());
-      const ml::Prf prf = eval::run_attack(attack, perturbed);
+  std::size_t cell_index = 0;
+  for (const scenario::WorldSpec& world : config.worlds) {
+    const std::string world_key = scenario::world_label(world);
+    const data::Dataset clean =
+        eval::make_experiment(scenario::resolve_world(world, config.seed), {},
+                              0.7, scenario::split_seed(config.seed))
+            .dataset;
+    for (const scenario::DefenseSpec& defense : config.defenses) {
+      const scenario::CellResult& cell = matrix.cells.at(cell_index++);
+      const data::Dataset protected_ds = scenario::apply_defense(
+          clean, defense,
+          scenario::defense_seed(config.seed, world_key,
+                                 scenario::defense_label(defense)));
       table.new_row()
-          .add(clean.name)
-          .add(label)
-          .add(budget * 100, 0)
-          .add(prf.f1, 4)
-          .add(utility_retained(clean.dataset, protected_ds) * 100, 1);
-    };
-
-    evaluate("none", clean.dataset, 0.0);
-    for (double budget : {0.2, 0.4}) {
-      util::Rng rng(base.seed ^ 0xdef);
-      evaluate("hiding", data::hide_checkins(clean.dataset, budget, rng),
-               budget);
-      evaluate("cross-grid blur",
-               data::blur_cross_grid(clean.dataset, budget, division, rng),
-               budget);
-      data::FriendGuardConfig guard;
-      guard.budget = budget;
-      evaluate("friendguard",
-               data::friend_guard(clean.dataset, division, guard), budget);
+          .add(world_key)
+          .add(scenario::mechanism_name(defense.mechanism))
+          .add(defense.rate * 100, 0)
+          .add(cell.quality.f1, 4)
+          .add(utility_retained(clean, protected_ds) * 100, 1);
     }
   }
 

@@ -5,15 +5,11 @@
 // even at 50 %. Hiding never removes a user's last check-in.
 #include "bench_common.h"
 
-#include "data/obfuscation.h"
-
 int main() {
   fs::bench::banner("bench_fig14_hiding",
                     "Fig 14 — F1 vs proportion of hidden check-ins");
-  fs::bench::run_obfuscation_bench(
-      "fig14_hiding", "Fig 14 — hiding countermeasure",
-      [](const fs::data::Dataset& ds, double ratio, fs::util::Rng& rng) {
-        return fs::data::hide_checkins(ds, ratio, rng);
-      });
+  fs::bench::run_obfuscation_bench("fig14_hiding",
+                                   "Fig 14 — hiding countermeasure",
+                                   fs::scenario::DefenseMechanism::kHiding);
   return 0;
 }

@@ -6,17 +6,11 @@
 // knowledge-based ones (which depend on exact POI identity) fall hard.
 #include "bench_common.h"
 
-#include "data/obfuscation.h"
-#include "geo/quadtree.h"
-
 int main() {
   fs::bench::banner("bench_fig15_ingrid",
                     "Fig 15 — F1 vs proportion of in-grid blurred check-ins");
-  fs::bench::run_obfuscation_bench(
-      "fig15_ingrid", "Fig 15 — in-grid blurring countermeasure",
-      [](const fs::data::Dataset& ds, double ratio, fs::util::Rng& rng) {
-        const fs::geo::QuadtreeDivision division(ds.poi_coordinates(), 120);
-        return fs::data::blur_in_grid(ds, ratio, division, rng);
-      });
+  fs::bench::run_obfuscation_bench("fig15_ingrid",
+                                   "Fig 15 — in-grid blurring countermeasure",
+                                   fs::scenario::DefenseMechanism::kBlurIn);
   return 0;
 }

@@ -6,18 +6,12 @@
 // keeps F1 around 0.4 at 50 %.
 #include "bench_common.h"
 
-#include "data/obfuscation.h"
-#include "geo/quadtree.h"
-
 int main() {
   fs::bench::banner(
       "bench_fig16_crossgrid",
       "Fig 16 — F1 vs proportion of cross-grid blurred check-ins");
   fs::bench::run_obfuscation_bench(
       "fig16_crossgrid", "Fig 16 — cross-grid blurring countermeasure",
-      [](const fs::data::Dataset& ds, double ratio, fs::util::Rng& rng) {
-        const fs::geo::QuadtreeDivision division(ds.poi_coordinates(), 120);
-        return fs::data::blur_cross_grid(ds, ratio, division, rng);
-      });
+      fs::scenario::DefenseMechanism::kBlurCross);
   return 0;
 }

@@ -1,0 +1,64 @@
+#include "data/dynamics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fs::data {
+
+Dataset apply_temporal_drift(const Dataset& ds, double fraction,
+                             std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("temporal drift: fraction must be in [0, 1]");
+  if (fraction == 0.0 || ds.checkin_count() == 0)
+    return ds.with_checkins(std::vector<CheckIn>(ds.checkins()));
+
+  const geo::Timestamp midpoint =
+      ds.window_begin() + (ds.window_end() - ds.window_begin()) / 2;
+  util::Rng rng(seed);
+
+  std::vector<std::size_t> remaining(ds.user_count());
+  for (UserId u = 0; u < ds.user_count(); ++u)
+    remaining[u] = ds.checkin_count(u);
+
+  const auto& all = ds.checkins();
+  std::vector<char> removed(all.size(), 0);
+
+  // Edges come out sorted, so selection (and the form/dissolve alternation)
+  // is a pure function of (graph, fraction, seed), not of iteration order.
+  std::size_t drifted = 0;
+  for (const graph::Edge& edge : ds.friendships().edges()) {
+    if (!rng.chance(fraction)) continue;
+    const bool dissolving = (drifted++ % 2) == 0;
+
+    // The pair's shared evidence: the higher-id endpoint's check-ins at
+    // POIs the lower-id endpoint also visits. Erasing one side is enough —
+    // co-occurrence needs both trajectories in the same cell and slot.
+    const std::vector<PoiId> common_side = ds.visited_pois(edge.a);
+    const std::unordered_set<PoiId> partner_pois(common_side.begin(),
+                                                 common_side.end());
+    for (std::size_t i = ds.trajectory(edge.b).data() - all.data(),
+                     end = i + ds.trajectory(edge.b).size();
+         i < end; ++i) {
+      if (removed[i] || remaining[edge.b] <= 1) continue;
+      const CheckIn& c = all[i];
+      const bool in_inactive_half =
+          dissolving ? c.time >= midpoint : c.time < midpoint;
+      if (!in_inactive_half || partner_pois.find(c.poi) == partner_pois.end())
+        continue;
+      removed[i] = 1;
+      --remaining[edge.b];
+    }
+  }
+
+  std::vector<CheckIn> kept;
+  kept.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (!removed[i]) kept.push_back(all[i]);
+  return ds.with_checkins(std::move(kept));
+}
+
+}  // namespace fs::data

@@ -1,0 +1,30 @@
+// Temporal dynamics of the ground-truth graph: friendships form and
+// dissolve *during* the observation window (Merritt et al., PAPERS.md),
+// while a static trace pretends every edge existed for the whole window.
+//
+// apply_temporal_drift models that mismatch from the attacker's side: the
+// labels stay fixed (the pair IS a friendship at evaluation time), but the
+// mobility evidence for a drifting pair only covers part of the window —
+// a dissolving friendship stops producing co-locations after its breakup,
+// a forming one produces none before it starts. This is the paper's
+// sparse-evidence hard case turned into a sweepable axis.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace fs::data {
+
+/// Returns a copy of `ds` where a `fraction` of ground-truth friend edges
+/// drift: selected edges alternate between DISSOLVING (the pair's shared
+/// evidence is erased from the second half of the observation window) and
+/// FORMING (erased from the first half). Evidence erasure removes the
+/// higher-id endpoint's check-ins at POIs both endpoints visit inside the
+/// inactive half-window; each user always keeps at least one check-in.
+/// The friendship graph (and thus every label and pair split) is
+/// unchanged. Deterministic in (ds, fraction, seed).
+Dataset apply_temporal_drift(const Dataset& ds, double fraction,
+                             std::uint64_t seed);
+
+}  // namespace fs::data

@@ -1,5 +1,6 @@
 #include "data/obfuscation.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace fs::data {
@@ -49,6 +50,34 @@ Dataset hide_checkins(const Dataset& ds, double ratio, util::Rng& rng) {
   kept.reserve(all.size() - removals);
   for (std::size_t i = 0; i < all.size(); ++i)
     if (!removed[i]) kept.push_back(all[i]);
+  return ds.with_checkins(std::move(kept));
+}
+
+Dataset hide_checkins_coupled(const Dataset& ds, double ratio,
+                              std::uint64_t seed) {
+  check_ratio(ratio);
+  const auto& all = ds.checkins();
+  std::vector<double> draw(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    draw[i] = static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  }
+
+  // Exempt each user's highest-draw check-in: it survives every ratio, so
+  // no sweep point strips a user bare and nesting is preserved.
+  std::vector<std::size_t> exempt(ds.user_count(),
+                                  std::numeric_limits<std::size_t>::max());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const UserId u = all[i].user;
+    if (exempt[u] == std::numeric_limits<std::size_t>::max() ||
+        draw[i] > draw[exempt[u]])
+      exempt[u] = i;
+  }
+
+  std::vector<CheckIn> kept;
+  kept.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (exempt[all[i].user] == i || draw[i] >= ratio) kept.push_back(all[i]);
   return ds.with_checkins(std::move(kept));
 }
 

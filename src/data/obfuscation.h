@@ -12,6 +12,18 @@ namespace fs::data {
 /// remaining check-in (the paper's exact rule, preserving data utility).
 Dataset hide_checkins(const Dataset& ds, double ratio, util::Rng& rng);
 
+/// Rate-coupled hiding for ratio sweeps: each check-in draws one fixed
+/// uniform from (seed, check-in index) and is hidden iff it falls below
+/// `ratio`, so the hidden set at a lower ratio is a strict subset of the
+/// hidden set at any higher ratio — the evidence loss is nested and a sweep
+/// is monotone by construction (the property the scenario arena's defense
+/// axis is graded against). The "never a user's last check-in" rule is kept
+/// by always exempting each user's highest-draw record. Marginally each
+/// non-exempt check-in is hidden with probability `ratio`, matching
+/// hide_checkins in distribution.
+Dataset hide_checkins_coupled(const Dataset& ds, double ratio,
+                              std::uint64_t seed);
+
 /// Replaces the POI of `ratio` of check-ins with another POI in the SAME
 /// quadtree grid cell (in-grid blurring). A check-in whose cell holds no
 /// other POI is left unchanged.

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+
+#include "kern/kern.h"
 
 namespace fs::eval {
 
@@ -54,6 +57,25 @@ std::string result_digest(const core::FriendSeekerResult& result) {
 std::string graph_digest(const graph::Graph& g) {
   Fnv fnv;
   fnv.mix_graph(g);
+  return fnv.hex();
+}
+
+std::string toolchain_fingerprint() {
+  std::ostringstream oss;
+  oss << __VERSION__;
+#ifdef __GLIBC__
+  oss << " glibc-" << __GLIBC__ << "." << __GLIBC_MINOR__;
+#endif
+  oss << " kern-" << kern::path_name(kern::active_path());
+  return oss.str();
+}
+
+std::string text_digest(const std::string& text) {
+  Fnv fnv;
+  for (unsigned char ch : text) {
+    fnv.h ^= ch;
+    fnv.h *= 0x100000001b3ULL;
+  }
   return fnv.hex();
 }
 

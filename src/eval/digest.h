@@ -21,4 +21,15 @@ std::string result_digest(const core::FriendSeekerResult& result);
 /// for bit — this digest is what the differential tests pin.
 std::string graph_digest(const graph::Graph& g);
 
+/// Compiler + C library + fs::kern ISA-path fingerprint. Result digests are
+/// only bit-comparable between builds that agree on it (FP contraction,
+/// libm, and per-ISA accumulation order legitimately change low-order
+/// bits), so golden/diff comparisons gate their exact-digest checks on it
+/// and fall back to tolerance-banded quality across fingerprints.
+std::string toolchain_fingerprint();
+
+/// FNV-1a over a string (canonical-JSON config fingerprints and cache keys
+/// share one hash so fingerprints are comparable across tools).
+std::string text_digest(const std::string& text);
+
 }  // namespace fs::eval

@@ -104,4 +104,58 @@ TunedThreshold tune_f1_threshold(const std::vector<double>& scores,
 }
 
 
+double auc(const std::vector<int>& truth, const std::vector<double>& scores) {
+  if (truth.size() != scores.size())
+    throw std::invalid_argument("auc: size mismatch");
+  const std::size_t n = truth.size();
+  std::size_t positives = 0;
+  for (int y : truth) positives += y != 0;
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Sum of positive ranks with average ranks across tied scores.
+  double positive_rank_sum = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    std::size_t tied_positives = 0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      tied_positives += truth[order[j]] != 0;
+      ++j;
+    }
+    // 1-based ranks i+1 .. j share the average rank (i + j + 1) / 2.
+    positive_rank_sum += static_cast<double>(tied_positives) *
+                         (static_cast<double>(i + j + 1) / 2.0);
+    i = j;
+  }
+  const double p = static_cast<double>(positives);
+  return (positive_rank_sum - p * (p + 1.0) / 2.0) /
+         (p * static_cast<double>(negatives));
+}
+
+double precision_at_k(const std::vector<int>& truth,
+                      const std::vector<double>& scores, std::size_t k) {
+  if (truth.size() != scores.size())
+    throw std::invalid_argument("precision_at_k: size mismatch");
+  k = std::min(k, truth.size());
+  if (k == 0) return 0.0;
+  std::vector<std::size_t> order(truth.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += truth[order[i]] != 0;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
 }  // namespace fs::ml

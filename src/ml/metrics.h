@@ -48,4 +48,15 @@ struct TunedThreshold {
 TunedThreshold tune_f1_threshold(const std::vector<double>& scores,
                                  const std::vector<int>& labels);
 
+/// Area under the ROC curve via the Mann-Whitney rank statistic, with
+/// average ranks on score ties. Returns 0.5 when either class is empty
+/// (the chance-level convention — an undefined ranking is not evidence).
+double auc(const std::vector<int>& truth, const std::vector<double>& scores);
+
+/// Precision among the k highest-scored items (ties broken by lower index,
+/// so the value is deterministic for a fixed score vector). Returns 0 for
+/// k == 0 or an empty input; k is clamped to the population size.
+double precision_at_k(const std::vector<int>& truth,
+                      const std::vector<double>& scores, std::size_t k);
+
 }  // namespace fs::ml

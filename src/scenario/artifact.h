@@ -1,0 +1,66 @@
+// The scenario matrix artifact: one schema-versioned JSON document per run
+// (one row per grid cell), plus the validator and the tolerance-banded diff
+// that scenario_diff and the golden matrix slice are built on.
+//
+// Validation follows the perf_bench schema idiom: a single validate pass
+// that throws fs::ParseError naming the offending field, run both on every
+// artifact BEFORE it is written (a malformed artifact is a bug in the
+// emitter, caught at the source) and on anything read back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "scenario/runner.h"
+
+namespace fs::scenario {
+
+inline constexpr const char* kMatrixSchema = "fs-scenario-matrix";
+inline constexpr int kMatrixSchemaVersion = 1;
+
+/// Serializes a finished run (schema fs-scenario-matrix v1).
+obs::json::Value matrix_to_json(const MatrixResult& matrix);
+
+/// Structural validation; throws fs::ParseError on any violation (wrong
+/// schema tag/version, missing or mistyped fields, cell_count mismatch,
+/// quality metrics outside [0, 1]).
+void validate_matrix(const obs::json::Value& doc);
+
+/// Validates, then writes pretty-printed JSON to `path`.
+void write_matrix(const std::string& path, const MatrixResult& matrix);
+
+/// Reads, parses, and validates an artifact file.
+obs::json::Value load_matrix_file(const std::string& path);
+
+struct DiffOptions {
+  /// Multiplier on the BASE artifact's tolerance bands (cross-toolchain
+  /// comparisons in CI widen them without editing the config).
+  double tolerance_scale = 1.0;
+  /// Downgrade same-toolchain digest mismatches from failures to notes
+  /// (quality bands still gate).
+  bool lenient_digests = false;
+};
+
+/// Outcome of comparing two artifacts. `failures` is what makes the diff
+/// fail (exit non-zero); `notes` is informational drift (cross-toolchain
+/// digest differences, wall-time movement).
+struct DiffReport {
+  std::vector<std::string> failures;
+  std::vector<std::string> notes;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Compares two validated artifacts cell by cell (paired on cell id).
+/// Failures: missing/extra cells, config-fingerprint mismatches, any
+/// quality metric moving more than the base's tolerance band x scale, and
+/// final-graph digest mismatches when both runs share a toolchain
+/// fingerprint. Digest differences across toolchains are notes — FP
+/// contraction legitimately moves low-order bits, which is exactly what
+/// the tolerance bands exist to absorb.
+DiffReport diff_matrices(const obs::json::Value& base,
+                         const obs::json::Value& current,
+                         const DiffOptions& options = {});
+
+}  // namespace fs::scenario

@@ -1,0 +1,61 @@
+// Typed option reading for declarative scenario configs.
+//
+// Desbordante's algo-factory pattern, adapted: every config object is read
+// through an OptionReader that (a) type-checks and range-checks each
+// declared key through one accessor, and (b) rejects unknown keys loudly in
+// finish() — a typo'd axis name becomes a typed fs::ParseError naming the
+// bad key, its context, and the accepted spelling set, never a silently
+// ignored option.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs::scenario {
+
+class OptionReader {
+ public:
+  /// `node` must be a JSON object; `context` names it in error messages
+  /// (e.g. "defense axis element 2").
+  OptionReader(const obs::json::Value& node, std::string context);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& default_value);
+  /// String constrained to an allowed set.
+  std::string get_enum(const std::string& key,
+                       const std::string& default_value,
+                       const std::vector<std::string>& allowed);
+  /// Number constrained to [lo, hi]; throws ParseError outside the range.
+  double get_number(const std::string& key, double default_value, double lo,
+                    double hi);
+  /// Integer-valued number in [lo, hi]; a fractional value is an error.
+  long long get_int(const std::string& key, long long default_value,
+                    long long lo, long long hi);
+  bool get_bool(const std::string& key, bool default_value);
+  /// Nested array member (nullptr when absent).
+  const obs::json::Array* get_array(const std::string& key);
+  /// Nested object member (nullptr when absent).
+  const obs::json::Value* get_object(const std::string& key);
+
+  /// Throws ParseError listing every key that no accessor consumed.
+  void finish() const;
+
+  const std::string& context() const { return context_; }
+
+  /// Raises ParseError with the reader's context prefixed.
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  const obs::json::Value& value(const std::string& key);
+
+  const obs::json::Object* object_ = nullptr;
+  std::string context_;
+  std::set<std::string> consumed_;
+};
+
+}  // namespace fs::scenario

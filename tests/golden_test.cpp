@@ -20,8 +20,10 @@
 #include "eval/digest.h"
 #include "eval/harness.h"
 #include "eval/presets.h"
-#include "kern/kern.h"
 #include "obs/json.h"
+#include "scenario/artifact.h"
+#include "scenario/config.h"
+#include "scenario/runner.h"
 
 #ifndef FS_GOLDEN_DIR
 #error "FS_GOLDEN_DIR must point at the committed golden files"
@@ -34,21 +36,9 @@ namespace json = obs::json;
 
 std::string golden_path() { return std::string(FS_GOLDEN_DIR) + "/tiny.json"; }
 
-/// Compiler + C library + kernel-path fingerprint: digests are only
-/// bit-comparable between builds that agree on it. The active fs::kern
-/// ISA path is part of the fingerprint because each path has its own
-/// (fixed, thread-count-invariant) accumulation order — an FS_KERNEL
-/// override or a host without AVX-512 legitimately produces different
-/// low-order bits than the pinned run.
-std::string toolchain_fingerprint() {
-  std::ostringstream oss;
-  oss << __VERSION__;
-#ifdef __GLIBC__
-  oss << " glibc-" << __GLIBC__ << "." << __GLIBC_MINOR__;
-#endif
-  oss << " kern-" << kern::path_name(kern::active_path());
-  return oss.str();
-}
+/// The shared toolchain fingerprint (see eval/digest.h): digests are only
+/// bit-comparable between builds that agree on it.
+std::string toolchain_fingerprint() { return eval::toolchain_fingerprint(); }
 
 struct GoldenRun {
   std::string result_digest;
@@ -127,6 +117,53 @@ TEST(Golden, TinyPresetMatchesPinnedResult) {
       << "recall drifted from the pinned tiny-preset value." << drift_hint;
   EXPECT_NEAR(quality.at("f1").as_number(), run.quality.f1, tolerance)
       << "f1 drifted from the pinned tiny-preset value." << drift_hint;
+}
+
+// The scenario matrix slice: a 6-cell grid (tiny world x {no defense,
+// hiding 0.3, cross-grid blur 0.3} x blocking {on, off}) pinned in
+// tests/golden/scenario_tiny.json. Compared with the same tolerance-banded
+// diff scenario_diff uses in CI: quality bands everywhere, bit-exact graph
+// digests only on the pinning toolchain. Re-pin: tools/update_golden.sh
+// (or FS_UPDATE_GOLDEN=1 ./golden_test).
+TEST(Golden, ScenarioSliceMatchesPinnedMatrix) {
+  const std::string config_path =
+      std::string(FS_GOLDEN_DIR) + "/scenario_slice.json";
+  std::ifstream config_in(config_path);
+  ASSERT_TRUE(config_in.good()) << "missing slice config " << config_path;
+  std::ostringstream config_text;
+  config_text << config_in.rdbuf();
+  const scenario::ScenarioConfig config =
+      scenario::parse_scenario_config_text(config_text.str());
+
+  const scenario::MatrixResult matrix = scenario::run_scenario(config);
+  const std::string artifact_path =
+      std::string(FS_GOLDEN_DIR) + "/scenario_tiny.json";
+
+  if (std::getenv("FS_UPDATE_GOLDEN") != nullptr) {
+    scenario::write_matrix(artifact_path, matrix);
+    GTEST_LOG_(INFO) << "updated " << artifact_path;
+    return;
+  }
+
+  std::ifstream artifact_in(artifact_path);
+  ASSERT_TRUE(artifact_in.good())
+      << "missing golden matrix " << artifact_path
+      << " — run tools/update_golden.sh";
+  const json::Value golden = scenario::load_matrix_file(artifact_path);
+
+  const json::Value current = scenario::matrix_to_json(matrix);
+  ASSERT_NO_THROW(scenario::validate_matrix(current));
+
+  // On a foreign toolchain diff_matrices already downgrades digest
+  // mismatches to notes; the quality bands gate everywhere.
+  const scenario::DiffReport report =
+      scenario::diff_matrices(golden, current);
+  for (const std::string& failure : report.failures)
+    ADD_FAILURE() << failure
+                  << "\n  If this change is intentional, re-pin with "
+                     "tools/update_golden.sh and commit the tests/golden/ "
+                     "diff alongside the change.";
+  EXPECT_TRUE(report.ok());
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 // hyperparameter ranges, not just at defaults.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <set>
+#include <tuple>
 
 #include "block/candidate_gen.h"
 #include "block/cell_index.h"
@@ -23,6 +25,8 @@
 #include "graph/metrics.h"
 #include "ml/knn.h"
 #include "ml/svm.h"
+#include "scenario/config.h"
+#include "scenario/runner.h"
 
 namespace fs {
 namespace {
@@ -374,6 +378,138 @@ TEST(GraphProperties, EdgeChangeRatioIsSymmetricInDifference) {
       }
   ASSERT_NE(v, 0u);
   EXPECT_EQ(graph::Graph::edge_symmetric_difference(a, c), 1u);
+}
+
+// ---------- coupled hiding: nested evidence loss across rates ----------
+
+// hide_checkins_coupled promises the hidden set at a lower rate is a strict
+// subset of the hidden set at any higher rate (one fixed uniform draw per
+// check-in). Checked exactly: the kept multiset at the higher rate must be
+// contained in the kept multiset at the lower rate.
+TEST(CoupledHidingProperties, HiddenSetsAreNestedAcrossRates) {
+  data::SyntheticWorldConfig world = eval::bench_preset("tiny").world;
+  world.user_count = 40;
+  world.poi_count = 120;
+  world.weeks = 2;
+  const data::Dataset ds = data::generate_world(world).dataset;
+
+  util::Rng rng(331);
+  for (int trial = 0; trial < 3; ++trial) {
+    const double low = rng.uniform() * 0.4 + 0.05;
+    const double high = low + rng.uniform() * (0.9 - low);
+    const std::uint64_t seed = 12345 + static_cast<std::uint64_t>(trial);
+    const data::Dataset kept_low = data::hide_checkins_coupled(ds, low, seed);
+    const data::Dataset kept_high =
+        data::hide_checkins_coupled(ds, high, seed);
+
+    EXPECT_LE(kept_high.checkin_count(), kept_low.checkin_count());
+    std::multiset<std::tuple<data::UserId, data::PoiId, geo::Timestamp>>
+        low_set;
+    for (const data::CheckIn& c : kept_low.checkins())
+      low_set.insert({c.user, c.poi, c.time});
+    for (const data::CheckIn& c : kept_high.checkins()) {
+      const auto it = low_set.find({c.user, c.poi, c.time});
+      ASSERT_NE(it, low_set.end())
+          << "check-in kept at rate " << high << " but hidden at " << low;
+      low_set.erase(it);
+    }
+    // Nobody loses their last check-in at any rate.
+    for (data::UserId u = 0; u < ds.user_count(); ++u)
+      if (ds.checkin_count(u) > 0) EXPECT_GE(kept_high.checkin_count(u), 1u);
+  }
+}
+
+// Under randomized hiding rates the candidate-universe recall — the
+// fraction of true friend pairs blocking keeps in the scored universe — is
+// monotonically non-increasing as the rate grows, with ZERO slack: coupled
+// hiding nests the check-in sets, cell/strong co-occurrence is monotone in
+// the data, and k-hop reachability is monotone in the strong graph, so a
+// pair kept at a higher rate must be kept at every lower rate.
+TEST(CoupledHidingProperties, CandidateRecallMonotoneUnderRisingHidingRate) {
+  data::SyntheticWorldConfig cfg = eval::bench_preset("tiny").world;
+  cfg.user_count = 60;
+  cfg.poi_count = 150;
+  cfg.weeks = 3;
+  const data::Dataset ds = data::generate_world(cfg).dataset;
+
+  // Division and slotting are fixed from the CLEAN dataset: the defense
+  // removes check-ins, it does not move the attacker's grid.
+  const geo::QuadtreeDivision division(ds.poi_coordinates(), 40);
+  const geo::QuadtreeDivisionView view(division);
+  const geo::TimeSlotting slots(ds.window_begin(), ds.window_end(),
+                                7 * geo::kSecondsPerDay);
+  std::vector<data::UserPair> friends;
+  for (const graph::Edge& e : ds.friendships().edges())
+    friends.push_back({e.a, e.b});
+  const block::BlockingConfig blocking;  // slot_tolerance 1, hops 3
+
+  util::Rng rng(47);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<double> rates;
+    for (int i = 0; i < 4; ++i) rates.push_back(rng.uniform() * 0.85);
+    std::sort(rates.begin(), rates.end());
+
+    std::vector<char> previous_keep;
+    for (double rate : rates) {
+      const data::Dataset hidden =
+          data::hide_checkins_coupled(ds, rate, 555 + trial);
+      const block::CellIndex index(hidden, view, slots);
+      const graph::Graph strong = block::strong_cooccurrence_graph(index);
+      const std::vector<char> keep =
+          block::filter_universe(index, strong, friends, blocking);
+      if (!previous_keep.empty()) {
+        for (std::size_t i = 0; i < keep.size(); ++i)
+          EXPECT_LE(keep[i], previous_keep[i])
+              << "friend pair " << friends[i].first << "-"
+              << friends[i].second
+              << " entered the candidate universe as hiding grew to "
+              << rate;
+      }
+      previous_keep = keep;
+    }
+  }
+}
+
+// End-to-end recall through the scenario runner under rising hiding rates
+// on the fixed tiny preset. The evidence loss is exactly nested (above),
+// but the classifier's operating point is re-tuned per cell, so the
+// end-to-end curve gets a small band for retraining wobble — plus a strict
+// bite check: the highest rate must cost recall vs the clean run.
+TEST(CoupledHidingProperties, AttackRecallMonotoneUnderRisingHidingRate) {
+  scenario::ScenarioConfig config;
+  config.name = "hiding-monotone";
+  config.worlds.push_back(scenario::WorldSpec{});  // tiny preset
+
+  util::Rng rng(47);
+  std::vector<double> rates = {0.0};
+  for (int i = 0; i < 2; ++i) rates.push_back(rng.uniform() * 0.35 + 0.05);
+  rates.push_back(rng.uniform() * 0.2 + 0.45);  // a rate that must bite
+  std::sort(rates.begin(), rates.end());
+  for (double rate : rates) {
+    scenario::DefenseSpec defense;
+    defense.mechanism = rate == 0.0 ? scenario::DefenseMechanism::kNone
+                                    : scenario::DefenseMechanism::kHiding;
+    defense.rate = rate;
+    // Distinct labels even if two draws collide after rounding.
+    defense.label = "hiding-" + std::to_string(rate);
+    config.defenses.push_back(defense);
+  }
+  config.attacks.push_back(scenario::AttackSpec{});
+  config.models.push_back(scenario::ModelSpec{});
+  config.dynamics.push_back(scenario::DynamicsSpec{});
+
+  const scenario::MatrixResult matrix = scenario::run_scenario(config);
+  ASSERT_EQ(matrix.cells.size(), rates.size());
+  constexpr double kSlack = 0.08;
+  for (std::size_t i = 1; i < matrix.cells.size(); ++i) {
+    EXPECT_LE(matrix.cells[i].quality.recall,
+              matrix.cells[i - 1].quality.recall + kSlack)
+        << "recall rose when hiding rate grew " << rates[i - 1] << " -> "
+        << rates[i];
+  }
+  // The sweep must actually bite: the highest rate loses recall vs clean.
+  EXPECT_LT(matrix.cells.back().quality.recall,
+            matrix.cells.front().quality.recall);
 }
 
 }  // namespace
